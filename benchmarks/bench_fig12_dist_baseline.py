@@ -1,0 +1,22 @@
+"""Figure 12: Determinator's transparently distributed shared-memory
+benchmarks versus hand-written distributed-memory Linux equivalents.
+
+Paper shape: md5-tree and matmult-tree "perform comparably to
+nondeterministic, distributed-memory equivalents"; adding TCP-like
+round-trip timing and retransmission framing to Determinator's protocol
+changes results by less than 2%.
+"""
+
+from repro.bench import figures
+
+
+def test_fig12_distributed_baseline(once):
+    series = once(figures.figure12)
+    print()
+    print(figures.format_series(
+        "Figure 12: dist-Linux time / Determinator time", series,
+        value_fmt="{:7.3f}"))
+    for nodes, ratio in series["md5-tree"].items():
+        assert 0.8 < ratio < 1.25, f"md5-tree ratio {ratio} at {nodes}"
+    for nodes, impact in series["tcp-impact"].items():
+        assert impact < 0.02, f"TCP impact {impact:.3%} at {nodes} nodes"

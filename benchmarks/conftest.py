@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one paper table/figure.  The series is
+computed once (``rounds=1`` — the simulations are themselves
+deterministic, so repetition adds nothing) and printed so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every row/series the paper reports.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Distributed password cracking across a cluster (paper §3.3, §6.3).
+
+The md5-tree benchmark: a brute-force MD5 preimage search distributed
+over uniprocessor cluster nodes by *space migration* — the program is
+ordinary shared-memory Determinator code; "distribution" is only node
+numbers in the high bits of child references.  The result is identical
+on any cluster size, and speedup is near-linear because workers share
+almost no data.
+
+Run:  python examples/distributed_md5.py
+"""
+
+import hashlib
+
+from repro.bench.cluster_workloads import md5_tree_main, run_cluster
+from repro.bench.workloads.md5 import ALPHABET, candidate
+
+LENGTH = 4
+
+
+if __name__ == "__main__":
+    target = candidate((len(ALPHABET) ** LENGTH) * 7 // 10, LENGTH)
+    digest = hashlib.md5(target.encode()).hexdigest()
+    print(f"searching {len(ALPHABET) ** LENGTH:,} candidates for "
+          f"md5(...)={digest[:16]}...\n")
+    print(f"{'nodes':>6} {'virtual time':>16} {'speedup':>9}  found")
+    base = None
+    for nodes in (1, 2, 4, 8, 16):
+        makespan, machine, found = run_cluster(md5_tree_main(LENGTH), nodes)
+        if base is None:
+            base = makespan
+        print(f"{nodes:>6} {makespan:>16,} {base / makespan:>8.2f}x  {found!r}")
+        assert found == target
+    print("\nsame answer on every cluster size — distribution is")
+    print("semantically transparent (paper §3.3).")

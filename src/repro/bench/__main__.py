@@ -1,0 +1,76 @@
+"""Regenerate the paper's evaluation from the command line.
+
+    python -m repro.bench                 # everything
+    python -m repro.bench fig7 fig11      # selected artifacts
+    python -m repro.bench --list
+
+Prints each figure/table as an aligned text series (the same generators
+the ``benchmarks/`` suite asserts against).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import figures
+from repro.bench.codesize import table3
+
+
+def _fig4():
+    result = figures.figure4()
+    lines = ["Figure 4: parallel make on 2 CPUs (virtual cycles)"]
+    for scenario, makespan in result.items():
+        lines.append(f"  {scenario:20s} {makespan:>12,}")
+    return "\n".join(lines)
+
+
+ARTIFACTS = {
+    "fig4": _fig4,
+    "fig7": lambda: figures.format_series(
+        "Figure 7: Determinator relative to Linux (>1 = faster)",
+        figures.figure7()),
+    "fig8": lambda: figures.format_series(
+        "Figure 8: speedup vs own single-CPU performance",
+        figures.figure8()),
+    "fig9": lambda: figures.format_series(
+        "Figure 9: matmult size sweep (ratio vs Linux)",
+        {"matmult": figures.figure9()}),
+    "fig10": lambda: figures.format_series(
+        "Figure 10: qsort size sweep (ratio vs Linux)",
+        {"qsort": figures.figure10()}),
+    "fig11": lambda: figures.format_series(
+        "Figure 11: cluster speedup vs 1-node local execution",
+        figures.figure11()),
+    "fig12": lambda: figures.format_series(
+        "Figure 12: dist-Linux time / Determinator time",
+        figures.figure12(), value_fmt="{:7.3f}"),
+    "table3": lambda: "Table 3: implementation code size\n" + table3()[0],
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the OSDI'10 Determinator evaluation.",
+    )
+    parser.add_argument("artifacts", nargs="*",
+                        help=f"subset of: {', '.join(ARTIFACTS)}")
+    parser.add_argument("--list", action="store_true",
+                        help="list available artifacts and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(ARTIFACTS))
+        return 0
+    selected = args.artifacts or list(ARTIFACTS)
+    unknown = [name for name in selected if name not in ARTIFACTS]
+    if unknown:
+        parser.error(f"unknown artifacts: {', '.join(unknown)}")
+    for name in selected:
+        start = time.time()
+        print(ARTIFACTS[name]())
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Distributed benchmarks via space migration (paper §6.3, Figures 11/12).
+
+* **md5-circuit** — "the master space acts like a traveling salesman,
+  migrating serially to each worker node to fork child processes, then
+  retracing the same circuit to collect their results."
+* **md5-tree** — "forks workers recursively in a binary tree: the master
+  space forks children on two nodes, those children each fork two
+  children on two nodes, etc."
+* **matmult-tree** — matrix multiply with the same recursive work
+  distribution; the matrix data rides the kernel's demand-paging
+  protocol, which is why it levels off at two nodes.
+
+All three run in the (logically) shared-memory model via Snap/Merge,
+exactly as on a single machine — distribution is only node numbers in
+child references.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.bench.workloads import matmult as matmult_workload
+from repro.bench.workloads.md5 import (
+    CYCLES_PER_CANDIDATE,
+    ALPHABET,
+    candidate,
+)
+from repro.kernel.kernel import child_ref
+from repro.kernel.machine import Machine
+from repro.mem.layout import SHARED_BASE
+from repro.mem.page import PAGE_SIZE
+
+SHARE = (SHARED_BASE, 0x1000_0000)  # 256 MB window is plenty for these
+
+
+def _fork_on(g, local, node, entry, args):
+    ref = child_ref(local, node=node)
+    addr, size = SHARE
+    g.kcharge(g.cost.fork_image_pages * g.cost.page_map)
+    g.put(ref, regs={"entry": entry, "args": tuple(args)},
+          copy=(addr, size), snap=(addr, size), start=True)
+    return ref
+
+
+def _join(g, ref):
+    g.kcharge(g.cost.fork_image_pages * g.cost.page_scan)
+    return g.get(ref, regs=True, merge=True)["r0"]
+
+
+# ---------------------------------------------------------------------------
+# md5
+# ---------------------------------------------------------------------------
+
+def _md5_params(length=4):
+    target = candidate((len(ALPHABET) ** length) * 7 // 10, length)
+    return length, hashlib.md5(target.encode()).hexdigest()
+
+
+def _md5_node_worker(g, start, count, length, digest):
+    """Per-node worker: scan a contiguous candidate range (real MD5)."""
+    g.alloc_work(count * CYCLES_PER_CANDIDATE)
+    for index in range(start, start + count):
+        if hashlib.md5(candidate(index, length).encode()).hexdigest() == digest:
+            return index + 1
+    return 0
+
+
+def md5_circuit(g, nnodes, length, digest):
+    """Master migrates serially around the node circuit (§6.3)."""
+    space = len(ALPHABET) ** length
+    per = (space + nnodes - 1) // nnodes
+    refs = []
+    for node in range(nnodes):
+        start = node * per
+        count = max(0, min(per, space - start))
+        refs.append(
+            _fork_on(g, 1, node, _md5_node_worker,
+                     (start, count, length, digest))
+        )
+    found = 0
+    for ref in refs:          # retrace the same circuit to collect
+        hit = _join(g, ref)
+        if hit:
+            found = hit - 1
+    return candidate(found, length)
+
+
+def _md5_tree_worker(g, node_lo, node_hi, start, count, length, digest):
+    """Tree worker on node ``node_lo``: split nodes, fork two subtrees,
+    search the local share."""
+    nodes = node_hi - node_lo
+    if nodes > 1:
+        mid = node_lo + nodes // 2
+        left_count = (count * (mid - node_lo)) // nodes
+        right_count = count - left_count
+        left = _fork_on(
+            g, 2, node_lo, _md5_tree_worker,
+            (node_lo, mid, start, left_count, length, digest))
+        right = _fork_on(
+            g, 3, mid, _md5_tree_worker,
+            (mid, node_hi, start + left_count, right_count, length, digest))
+        # Children recurse; this space searches nothing itself.
+        hit_l = _join(g, left)
+        hit_r = _join(g, right)
+        return hit_l or hit_r
+    return _md5_node_worker(g, start, count, length, digest)
+
+
+def md5_tree(g, nnodes, length, digest):
+    """Recursive binary-tree distribution of the same search."""
+    space = len(ALPHABET) ** length
+    ref = _fork_on(g, 1, 0, _md5_tree_worker,
+                   (0, nnodes, 0, space, length, digest))
+    hit = _join(g, ref)
+    return candidate((hit or 1) - 1, length)
+
+
+# ---------------------------------------------------------------------------
+# matmult
+# ---------------------------------------------------------------------------
+
+def _matmult_tree_worker(g, node_lo, node_hi, n, row0, rows):
+    nodes = node_hi - node_lo
+    if nodes > 1 and rows > 1:
+        mid_node = node_lo + nodes // 2
+        mid_rows = rows * (mid_node - node_lo) // nodes
+        left = _fork_on(g, 2, node_lo, _matmult_tree_worker,
+                        (node_lo, mid_node, n, row0, mid_rows))
+        right = _fork_on(g, 3, mid_node, _matmult_tree_worker,
+                         (mid_node, node_hi, n, row0 + mid_rows,
+                          rows - mid_rows))
+        _join(g, left)
+        _join(g, right)
+        return rows
+    from repro.bench.api import DetApi
+    return matmult_workload._multiply_block(DetApi(g), 0, n, row0, rows)
+
+
+def matmult_tree(g, nnodes, n, seed):
+    """Matrix multiply with recursive cross-node work distribution."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 100, size=(n, n), dtype=np.int32)
+    b = rng.integers(0, 100, size=(n, n), dtype=np.int32)
+    a_addr, b_addr, c_addr = matmult_workload._addrs(n)
+    g.array_write(a_addr, a)
+    g.array_write(b_addr, b)
+    g.work(2 * n * n)
+    ref = _fork_on(g, 1, 0, _matmult_tree_worker, (0, nnodes, n, 0, n))
+    _join(g, ref)
+    c = g.array_read(c_addr, np.int32, n * n)
+    return int(c.sum() & 0xFFFFFFFF)
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False):
+    """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
+
+    ``entry_builder(g, nnodes)`` is the guest main.  Returns
+    ``(makespan, machine)``; the makespan uses one CPU per node, as in
+    the paper's cluster (§6.3).
+    """
+    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode)
+
+    def main(g):
+        return entry_builder(g, nnodes)
+
+    with machine:
+        result = machine.run(main)
+        if result.trap.name not in ("EXIT", "RET"):
+            raise RuntimeError(
+                f"cluster workload faulted: {result.trap.name} {result.trap_info}"
+            )
+        cpus = {node: 1 for node in range(nnodes)}
+        return result.makespan(cpus_per_node=cpus), machine, result.r0
+
+
+def md5_circuit_main(length=4):
+    length, digest = _md5_params(length)
+
+    def main(g, nnodes):
+        return md5_circuit(g, nnodes, length, digest)
+
+    return main
+
+
+def md5_tree_main(length=4):
+    length, digest = _md5_params(length)
+
+    def main(g, nnodes):
+        return md5_tree(g, nnodes, length, digest)
+
+    return main
+
+
+def matmult_tree_main(n=128, seed=7):
+    def main(g, nnodes):
+        return matmult_tree(g, nnodes, n, seed)
+
+    return main

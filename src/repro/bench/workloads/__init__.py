@@ -1,0 +1,27 @@
+"""The paper's seven parallel benchmarks (§6.2), written once against
+:mod:`repro.bench.api` and runnable on Determinator or the Linux baseline.
+
+Each module exposes ``run(api, **params)`` plus a ``default_params(
+nworkers)`` helper, reproduces the paper benchmark's communication and
+synchronization *pattern*, performs real computation where cheap enough
+to verify, and charges its algorithmic instruction cost to the virtual
+clock via ``api.work``.
+"""
+
+from repro.bench.workloads import md5 as md5_workload
+from repro.bench.workloads import matmult as matmult_workload
+from repro.bench.workloads import qsort as qsort_workload
+from repro.bench.workloads import blackscholes as blackscholes_workload
+from repro.bench.workloads import fft as fft_workload
+from repro.bench.workloads import lu as lu_workload
+
+#: name -> (module, extra params) for every Figure 7/8 benchmark.
+ALL = {
+    "md5": (md5_workload, {}),
+    "matmult": (matmult_workload, {}),
+    "qsort": (qsort_workload, {}),
+    "blackscholes": (blackscholes_workload, {}),
+    "fft": (fft_workload, {}),
+    "lu_cont": (lu_workload, {"contiguous": True}),
+    "lu_noncont": (lu_workload, {"contiguous": False}),
+}

@@ -1,0 +1,68 @@
+"""fft: SPLASH-2-style parallel Fast Fourier Transform (§6.2).
+
+Radix-2 decimation-in-time over a worker tree: the array is split by
+sample parity, children compute sub-FFTs of the decimated halves
+(recursively, to the fork depth), and each parent performs the real
+twiddle-factor combine of its children's spectra.  The combines above
+the leaves are serial in the parents, which is why fft "levels off after
+four processors" in the paper's Figure 8 while remaining comparable to
+Linux overall (Figure 7).
+
+Computation is real complex128 math; leaves use numpy's FFT as the
+sequential kernel and charge the textbook 5·n·log2(n) flops.
+"""
+
+import numpy as np
+
+from repro.mem.layout import SHARED_BASE
+
+DATA_ADDR = SHARED_BASE + 0x400_0000
+
+#: Modelled instructions per butterfly stage element.
+CYCLES_PER_POINT_STAGE = 14
+
+
+def default_params(nworkers, n=1 << 14, seed=5):
+    depth = max(0, (nworkers - 1).bit_length())
+    return {"nworkers": nworkers, "n": n, "seed": seed, "depth": depth}
+
+
+def _fft_range(api, tid, addr, n, depth):
+    """FFT of ``n`` complex points at ``addr`` (contiguous), in place."""
+    if depth == 0 or n < 4:
+        data = api.array_read(addr, np.complex128, n)
+        out = np.fft.fft(data)
+        api.work(int(5 * n * max(1, np.log2(n)) * CYCLES_PER_POINT_STAGE / 5))
+        api.array_write(addr, out)
+        return n
+    half = n // 2
+    data = api.array_read(addr, np.complex128, n)
+    # Decimate: evens first, odds second (real data movement).
+    api.array_write(addr, np.concatenate([data[0::2], data[1::2]]))
+    api.work(n * 2)
+    # Child transforms the even half concurrently; we do the odd half.
+    handle = api.spawn(_fft_range, (addr, half, depth - 1))
+    _fft_range(api, tid, addr + half * 16, half, depth - 1)
+    api.join(handle)
+    # Serial combine in the parent: real butterflies.
+    even = api.array_read(addr, np.complex128, half)
+    odd = api.array_read(addr + half * 16, np.complex128, half)
+    twiddle = np.exp(-2j * np.pi * np.arange(half) / n)
+    top = even + twiddle * odd
+    bottom = even - twiddle * odd
+    api.work(n * CYCLES_PER_POINT_STAGE)
+    api.array_write(addr, np.concatenate([top, bottom]))
+    return n
+
+
+def run(api, nworkers, n, seed, depth):
+    """Transform a random signal; returns (verified, checksum)."""
+    rng = np.random.default_rng(seed)
+    signal = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    api.array_write(DATA_ADDR, signal.astype(np.complex128))
+    api.work(n)
+    _fft_range(api, 0, DATA_ADDR, n, depth)
+    out = api.array_read(DATA_ADDR, np.complex128, n)
+    reference = np.fft.fft(signal)
+    verified = bool(np.allclose(out, reference, atol=1e-6 * n))
+    return (verified, float(np.round(np.abs(out).sum(), 2)))

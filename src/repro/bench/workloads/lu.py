@@ -1,0 +1,122 @@
+"""lu: SPLASH-2 blocked LU decomposition, contiguous and non-contiguous
+variants (§6.2).
+
+Right-looking blocked LU without pivoting, with a **barrier after every
+block step** — the textbook fine-grained SPLASH-2 kernel.  At each step
+k: one worker factors the diagonal block and panel; after a barrier, all
+workers update their share of the trailing submatrix; another barrier
+ends the step.  The frequent barriers mean Determinator re-copies,
+re-snapshots and re-merges the shared matrix every few hundred thousand
+instructions, which is exactly why lu shows the highest determinism cost
+in Figure 7.
+
+``contiguous=True`` assigns workers contiguous *row bands* of the
+trailing matrix (the "lu_cont" layout: few pages per write set);
+``contiguous=False`` assigns interleaved rows ("lu_noncont": the write
+set touches almost every page of the matrix, inflating merge work).
+
+The arithmetic is real float64 (verified as L·U ≈ A in tests).
+"""
+
+import numpy as np
+
+from repro.mem.layout import SHARED_BASE
+
+MATRIX_ADDR = SHARED_BASE + 0x500_0000
+
+#: Modelled instructions per fused multiply-add in the update.
+CYCLES_PER_FLOP = 2
+
+
+def default_params(nworkers, n=128, block=16, contiguous=True, seed=13):
+    return {
+        "nworkers": nworkers,
+        "n": n,
+        "block": block,
+        "contiguous": contiguous,
+        "seed": seed,
+    }
+
+
+def make_matrix(n, seed):
+    """Random diagonally dominant matrix (LU without pivoting is stable)."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a + n * np.eye(n)
+
+
+def _rows_for(tid, nworkers, lo, hi, contiguous):
+    """The trailing-matrix rows worker ``tid`` updates in [lo, hi)."""
+    rows = np.arange(lo, hi)
+    if contiguous:
+        chunks = np.array_split(rows, nworkers)
+        return chunks[tid]
+    return rows[rows % nworkers == tid]
+
+
+def _step_update(api, tid, round_, n, block, nworkers, contiguous):
+    """One barrier phase of one block step (see `run` for the protocol)."""
+    k, phase = divmod(round_, 2)
+    col = k * block
+    if col >= n:
+        return 0
+    blk = min(block, n - col)
+    if phase == 0:
+        # Phase A: worker 0 factors the diagonal block + panels.
+        if tid != 0:
+            return 0
+        a = api.array_read(MATRIX_ADDR, np.float64, n * n).reshape(n, n)
+        diag = a[col:col + blk, col:col + blk]
+        for j in range(blk):
+            diag[j + 1:, j] /= diag[j, j]
+            diag[j + 1:, j + 1:] -= np.outer(diag[j + 1:, j], diag[j, j + 1:])
+        # Panel updates: L21 and U12.
+        l_inv_cost = blk * blk * (n - col - blk)
+        if col + blk < n:
+            u12 = a[col:col + blk, col + blk:]
+            for j in range(blk):
+                u12[j + 1:, :] -= np.outer(diag[j + 1:, j], u12[j, :])
+            l21 = a[col + blk:, col:col + blk]
+            upper = np.triu(diag)
+            a[col + blk:, col:col + blk] = np.linalg.solve(upper.T, l21.T).T
+        api.work((blk ** 3 + 2 * l_inv_cost) * CYCLES_PER_FLOP)
+        api.array_write(MATRIX_ADDR, a)
+        return 1
+    # Phase B: all workers update their rows of the trailing matrix.
+    lo = col + blk
+    if lo >= n:
+        return 0
+    mine = _rows_for(tid, nworkers, lo, n, contiguous)
+    if len(mine) == 0:
+        return 0
+    a = api.array_read(MATRIX_ADDR, np.float64, n * n).reshape(n, n)
+    l_part = a[mine, col:col + blk]
+    u_part = a[col:col + blk, lo:]
+    update = l_part @ u_part
+    api.work(2 * len(mine) * blk * (n - lo) * CYCLES_PER_FLOP)
+    for row_idx, row in enumerate(mine):
+        row_vals = a[row, lo:] - update[row_idx]
+        api.array_write(
+            MATRIX_ADDR + (row * n + lo) * 8, row_vals
+        )
+    return len(mine)
+
+
+def run(api, nworkers, n, block, contiguous, seed):
+    """Factor the matrix in place; returns (verified, checksum)."""
+    a = make_matrix(n, seed)
+    api.array_write(MATRIX_ADDR, a)
+    api.work(n * n)
+    nsteps = (n + block - 1) // block
+    api.parallel_rounds(
+        nworkers,
+        2 * nsteps,
+        lambda w, tid, round_: _step_update(
+            w, tid, round_, n, block, nworkers, contiguous
+        ),
+    )
+    lu = api.array_read(MATRIX_ADDR, np.float64, n * n).reshape(n, n)
+    lower = np.tril(lu, -1) + np.eye(n)
+    upper = np.triu(lu)
+    verified = bool(np.allclose(lower @ upper, a, atol=1e-6 * n))
+    return (verified, float(np.round(np.abs(lu).sum(), 2)))

@@ -1,0 +1,69 @@
+"""qsort: recursive parallel quicksort on an integer array (§6.2).
+
+Forks a tree of threads: each level partitions its range around a pivot
+(in its private replica), then forks a child for the lower half and
+recurses on the upper half; leaves sort sequentially.  Partitioning is
+real (numpy), and the merge volume at each join is the child's whole
+half-range — exactly the interaction pattern that makes qsort scale
+poorly under virtual-memory-based determinism (paper Fig. 8) while
+staying competitive at large problem sizes (Fig. 10).
+"""
+
+import numpy as np
+
+from repro.mem.layout import SHARED_BASE
+
+ARRAY_ADDR = SHARED_BASE + 0x200_0000
+
+import math
+
+#: Modelled instructions per element per partition pass; leaves charge
+#: the same coefficient times log2 of their range, so the total modelled
+#: work is ~4·n·log2(n) regardless of fork depth (as for real quicksort).
+PARTITION_PER_ELEM = 4
+
+
+def default_params(nworkers, n=1 << 16, seed=11):
+    depth = max(0, (nworkers - 1).bit_length())
+    return {"n": n, "seed": seed, "depth": depth, "nworkers": nworkers}
+
+
+def _sort_range(api, tid, n, lo, hi, depth):
+    """Sort elements [lo, hi) of the shared array, forking to ``depth``."""
+    count = hi - lo
+    if count <= 1:
+        return 0
+    if depth == 0:
+        values = api.array_read(ARRAY_ADDR + lo * 4, np.int32, count)
+        values.sort()
+        api.work(int(count * PARTITION_PER_ELEM * max(1, math.log2(count))))
+        api.array_write(ARRAY_ADDR + lo * 4, values)
+        return count
+    values = api.array_read(ARRAY_ADDR + lo * 4, np.int32, count)
+    pivot = int(values[count // 2])
+    lower = values[values < pivot]
+    equal = values[values == pivot]
+    upper = values[values > pivot]
+    api.work(count * PARTITION_PER_ELEM)
+    rearranged = np.concatenate([lower, equal, upper])
+    api.array_write(ARRAY_ADDR + lo * 4, rearranged)
+    mid_lo = lo + len(lower)
+    mid_hi = mid_lo + len(equal)
+    # Child sorts the lower part *concurrently* with our recursion on the
+    # upper part; the join merges its half back.
+    handle = api.spawn(_sort_range, (n, lo, mid_lo, depth - 1))
+    _sort_range(api, tid, n, mid_hi, hi, depth - 1)
+    api.join(handle)
+    return count
+
+
+def run(api, nworkers, n, seed, depth):
+    """Sort a random array; returns a correctness checksum."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 30, size=n, dtype=np.int32)
+    api.array_write(ARRAY_ADDR, data)
+    api.work(n)
+    _sort_range(api, 0, n, 0, n, depth)
+    out = api.array_read(ARRAY_ADDR, np.int32, n)
+    is_sorted = bool(np.all(out[:-1] <= out[1:]))
+    return (is_sorted, int(out.sum() & 0xFFFFFFFF))

@@ -1,0 +1,18 @@
+"""Cluster-level conveniences over the kernel's space migration (§3.3).
+
+The migration mechanism itself lives in the kernel (node fields in child
+numbers, demand paging, the read-only page cache); this package adds the
+operator-facing layer:
+
+* :class:`Cluster` — construct, run and time a multi-node machine with
+  one call;
+* :class:`NetworkStats` — per-node traffic accounting derived from the
+  run (messages, pages, bytes, estimated wire time);
+* :func:`sweep_nodes` — run the same program across cluster sizes and
+  collect the speedup series (the Figure 11 primitive).
+"""
+
+from repro.cluster.network import NetworkStats
+from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+
+__all__ = ["NetworkStats", "Cluster", "ClusterResult", "sweep_nodes"]

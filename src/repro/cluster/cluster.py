@@ -1,0 +1,85 @@
+"""High-level cluster runner."""
+
+from repro.cluster.network import NetworkStats
+from repro.kernel.machine import Machine
+
+
+class ClusterResult:
+    """Outcome of a :meth:`Cluster.run`."""
+
+    def __init__(self, machine, result, nnodes, cpus_per_node):
+        self.machine = machine
+        self.result = result
+        self.nnodes = nnodes
+        self._cpus = {node: cpus_per_node for node in range(nnodes)}
+        #: The root program's return value.
+        self.value = result.r0
+        #: Network traffic accounting.
+        self.network = NetworkStats(machine)
+
+    def makespan(self):
+        """Virtual completion time with the cluster's CPU configuration."""
+        return self.result.makespan(cpus_per_node=self._cpus)
+
+    def __repr__(self):
+        return (
+            f"<ClusterResult nodes={self.nnodes} "
+            f"makespan={self.makespan():,} value={self.value!r}>"
+        )
+
+
+class Cluster:
+    """A homogeneous cluster of ``nnodes`` machines (paper §3.3, §6.3).
+
+    >>> cluster = Cluster(nnodes=8)                     # doctest: +SKIP
+    >>> result = cluster.run(my_distributed_program)
+    >>> result.makespan(), result.network.summary()
+    """
+
+    def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False):
+        self.nnodes = nnodes
+        self.cpus_per_node = cpus_per_node
+        self.cost = cost
+        self.tcp_mode = tcp_mode
+
+    def run(self, entry, args=()):
+        """Run ``entry(g, *args)`` as the root program; returns a
+        :class:`ClusterResult`.  Raises if the program faults."""
+        machine = Machine(
+            cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode
+        )
+        with machine:
+            result = machine.run(entry, args)
+            if result.trap.name not in ("EXIT", "RET"):
+                raise RuntimeError(
+                    f"cluster program faulted: {result.trap.name} "
+                    f"{result.trap_info}"
+                )
+            return ClusterResult(machine, result, self.nnodes,
+                                 self.cpus_per_node)
+
+
+def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
+                check_value=True):
+    """Run ``entry_builder(nnodes)``'s program across cluster sizes.
+
+    Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
+    ``check_value`` (default) every size must compute the same value —
+    distribution is semantically transparent (§3.3).
+    """
+    series = {}
+    base_time = None
+    base_value = None
+    for nnodes in node_counts:
+        cluster = Cluster(nnodes, cpus_per_node, cost)
+        result = cluster.run(entry_builder(nnodes))
+        time = result.makespan()
+        if base_time is None:
+            base_time, base_value = time, result.value
+        if check_value and result.value != base_value:
+            raise AssertionError(
+                f"value drift at {nnodes} nodes: "
+                f"{result.value!r} != {base_value!r}"
+            )
+        series[nnodes] = (base_time / time if time else 1.0, result)
+    return series

@@ -1,0 +1,57 @@
+"""Network accounting for cluster runs.
+
+The kernel charges migration and demand-paging costs as it simulates;
+this module reconstructs operator-readable statistics from a finished
+machine: how many pages crossed the wire, where they landed, and what
+the protocol's (modelled) wire time was — the numbers one would read off
+a switch to explain why matmult-tree levels off at two nodes (§6.3).
+"""
+
+from repro.mem.page import PAGE_SIZE
+
+
+class NetworkStats:
+    """Traffic summary of one cluster run."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        cost = machine.cost
+        #: Pages demand-fetched across nodes over the whole run.
+        self.pages_fetched = machine.pages_fetched
+        #: Payload bytes those fetches moved.
+        self.bytes_moved = self.pages_fetched * PAGE_SIZE
+        #: node -> number of distinct frame versions materialized there.
+        self.cached_per_node = {
+            node: len(serials) for node, serials in machine.node_cache.items()
+        }
+        #: Migration hops (segments whose node differs from the previous
+        #: segment of the same space).
+        self.migrations = self._count_migrations(machine.trace)
+        #: Modelled wire time attributable to page fetches.
+        self.fetch_wire_cycles = self.pages_fetched * cost.message(
+            PAGE_SIZE, tcp=machine.tcp_mode
+        )
+
+    @staticmethod
+    def _count_migrations(trace):
+        last_node = {}
+        hops = 0
+        for seg in trace.segments:
+            prev = last_node.get(seg.uid)
+            if prev is not None and prev != seg.node:
+                hops += 1
+            last_node[seg.uid] = seg.node
+        return hops
+
+    def summary(self):
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.migrations} migration hops, "
+            f"{self.pages_fetched:,} pages fetched "
+            f"({self.bytes_moved / 1024:.0f} KiB), "
+            f"{self.fetch_wire_cycles:,} wire cycles, "
+            f"cache population: {dict(sorted(self.cached_per_node.items()))}"
+        )
+
+    def __repr__(self):
+        return f"<NetworkStats {self.summary()}>"

@@ -1,0 +1,63 @@
+"""A small deterministic pseudo-random generator.
+
+The baseline ("Linux") simulator needs schedule jitter that is repeatable
+for a given seed but *not* correlated with the structure of the simulated
+program.  We implement SplitMix64, which is tiny, fast, well distributed,
+and — unlike :mod:`random` — guaranteed stable across Python versions, so
+recorded experiment outputs never drift with the interpreter.
+"""
+
+_MASK = (1 << 64) - 1
+
+
+class DeterministicRandom:
+    """SplitMix64 generator with convenience helpers.
+
+    >>> r = DeterministicRandom(42)
+    >>> r.next_u64() == DeterministicRandom(42).next_u64()
+    True
+    """
+
+    def __init__(self, seed=0):
+        self._state = seed & _MASK
+
+    def next_u64(self):
+        """Return the next 64-bit unsigned integer."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+        return z ^ (z >> 31)
+
+    def uniform(self, lo=0.0, hi=1.0):
+        """Return a float uniformly distributed in ``[lo, hi)``."""
+        return lo + (hi - lo) * (self.next_u64() / float(1 << 64))
+
+    def randint(self, lo, hi):
+        """Return an integer uniformly distributed in ``[lo, hi]``."""
+        span = hi - lo + 1
+        return lo + self.next_u64() % span
+
+    def jitter(self, value, fraction):
+        """Return ``value`` dilated by a uniform factor in ``[1, 1+fraction)``.
+
+        Used to perturb segment durations in the nondeterministic baseline:
+        real machines never give two threads identical timing.
+        """
+        return value * self.uniform(1.0, 1.0 + fraction)
+
+    def choice(self, seq):
+        """Return a pseudo-random element of a non-empty sequence."""
+        if not seq:
+            raise IndexError("choice from empty sequence")
+        return seq[self.next_u64() % len(seq)]
+
+    def shuffle(self, seq):
+        """Fisher-Yates shuffle of a mutable sequence, in place."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.next_u64() % (i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def fork(self):
+        """Return an independent generator derived from this one's stream."""
+        return DeterministicRandom(self.next_u64())

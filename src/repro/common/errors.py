@@ -1,0 +1,114 @@
+"""Exception hierarchy for the Determinator reproduction.
+
+Two distinct families exist:
+
+* *Host errors* (bugs in code using the library): subclasses of
+  :class:`ReproError`, raised and propagated like normal Python exceptions.
+
+* *Guest traps*: conditions that, on real Determinator, would stop a space
+  and return a trap code to its parent (illegal access, merge conflict,
+  instruction-limit expiry).  Inside guest code these are raised as
+  exceptions; the kernel converts uncaught ones into a stopped space with
+  a trap code, exactly as processor traps cause an implicit Ret (§3.2).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Memory subsystem
+# --------------------------------------------------------------------------
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class PageFaultError(MemoryError_):
+    """Access to an unmapped virtual address."""
+
+    def __init__(self, addr, message=""):
+        self.addr = addr
+        super().__init__(message or f"page fault at {addr:#010x}")
+
+
+class PermissionFault(MemoryError_):
+    """Access violating the page permissions set via the Perm option."""
+
+    def __init__(self, addr, needed, message=""):
+        self.addr = addr
+        self.needed = needed
+        super().__init__(
+            message or f"permission fault at {addr:#010x} (needed {needed})"
+        )
+
+
+class MergeConflictError(MemoryError_):
+    """A byte changed in both parent and child since the reference snapshot.
+
+    The paper treats this "as a programming error like an illegal memory
+    access or divide-by-zero" (§3.2): the kernel raises it during a
+    Get/Merge, and it surfaces in the *parent* space.
+    """
+
+    def __init__(self, addr, message=""):
+        self.addr = addr
+        super().__init__(
+            message or f"write/write conflict at byte {addr:#010x}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Kernel
+# --------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Misuse of the kernel API detected by the simulated kernel."""
+
+
+class BadChildError(KernelError):
+    """A syscall referenced an invalid child number."""
+
+
+class GuestKilled(BaseException):
+    """Injected into a guest thread to unwind it when its space is destroyed.
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    handlers inside guest code cannot swallow it.
+    """
+
+
+class GuestTrap(ReproError):
+    """Raised inside guest code for conditions that become trap codes."""
+
+    def __init__(self, trapcode, message=""):
+        self.trapcode = trapcode
+        super().__init__(message or f"guest trap {trapcode}")
+
+
+# --------------------------------------------------------------------------
+# User-level runtime
+# --------------------------------------------------------------------------
+
+class RuntimeApiError(ReproError):
+    """Misuse of the user-level runtime (process/thread/file APIs)."""
+
+
+class FileSystemError(RuntimeApiError):
+    """Error from the user-level shared file system."""
+
+
+class FileConflictError(FileSystemError):
+    """Attempt to open a file whose conflict flag is set (§4.2)."""
+
+    def __init__(self, name, message=""):
+        self.name = name
+        super().__init__(message or f"file {name!r} is marked conflicted")
+
+
+class DeadlockError(RuntimeApiError):
+    """The deterministic scheduler detected that no thread can make progress."""

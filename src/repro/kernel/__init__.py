@@ -1,0 +1,28 @@
+"""The Determinator kernel simulator.
+
+Implements the paper's §3: an arbitrarily deep hierarchy of
+single-threaded *spaces* (private registers + private virtual memory),
+interacting **only** through the three system calls Put, Get and Ret
+(Tables 1–2), with rendezvous synchronization, copy-on-write Copy/Snap,
+byte-granularity Merge, page permissions, subtree copy, instruction
+limits, and space migration across cluster nodes (§3.3).
+
+Entry point for users: :class:`repro.kernel.machine.Machine`.
+"""
+
+from repro.kernel.traps import Trap
+from repro.kernel.space import Space, SpaceState
+from repro.kernel.guest import Guest
+from repro.kernel.kernel import Kernel, child_ref
+from repro.kernel.machine import Machine, MachineResult
+
+__all__ = [
+    "Trap",
+    "Space",
+    "SpaceState",
+    "Guest",
+    "Kernel",
+    "child_ref",
+    "Machine",
+    "MachineResult",
+]

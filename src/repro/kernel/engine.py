@@ -1,0 +1,173 @@
+"""Guest execution engine: one host thread per started space, exactly one
+runnable at a time.
+
+Real Determinator runs user code natively and regains control via traps.
+We run guest Python functions on dedicated host threads and pass a single
+*execution baton* between the kernel driver and guest threads: a guest
+runs only between ``resume_and_wait`` and its next ``park``, so the
+simulated system is single-threaded in effect and every scheduling
+decision is made explicitly by the simulated kernel.  That, plus the
+shared-nothing memory model, is what makes execution deterministic
+(the Kahn-network argument of paper §3.2).
+
+Host threads (not generators) are used because a space must be resumable
+from arbitrarily deep inside guest code — e.g. when an instruction limit
+preempts a thread in the middle of the deterministic scheduler's quantum
+(§4.5) — which requires capturing the whole Python stack.
+"""
+
+import threading
+
+from repro.common.errors import (
+    GuestKilled,
+    MergeConflictError,
+    PageFaultError,
+    PermissionFault,
+)
+from repro.kernel.space import SpaceState
+from repro.kernel.traps import Trap
+
+
+class GuestContext:
+    """Host-thread wrapper executing one space's guest code."""
+
+    def __init__(self, engine, space, make_guest):
+        self.engine = engine
+        self.space = space
+        self._make_guest = make_guest
+        self._cv = threading.Condition()
+        self._run = False      # baton is with the guest
+        self._parked = False   # guest has announced it is waiting
+        self._dead = False
+        self.thread = threading.Thread(
+            target=self._main, name=f"guest-{space.uid}", daemon=True
+        )
+        self.thread.start()
+
+    # -- kernel side --------------------------------------------------------
+
+    def resume_and_wait(self):
+        """Hand the baton to the guest; return when it parks again."""
+        with self._cv:
+            if self._dead:
+                raise RuntimeError(f"resuming dead guest {self.space.uid}")
+            while not self._parked:   # wait for the guest to reach park()
+                self._cv.wait()
+            self._parked = False
+            self._run = True
+            self._cv.notify_all()
+            while not self._parked:   # wait for it to park again
+                self._cv.wait()
+
+    def kill(self):
+        """Unwind the guest thread (machine shutdown / space destruction)."""
+        with self._cv:
+            if self._dead:
+                return
+            self.space.killed = True
+            while not self._parked:
+                self._cv.wait()
+            self._parked = False
+            self._run = True
+            self._cv.notify_all()
+            while not self._parked:
+                self._cv.wait()
+
+    @property
+    def dead(self):
+        return self._dead
+
+    # -- guest side -----------------------------------------------------------
+
+    def park(self):
+        """Give the baton back to the kernel; return on next resume."""
+        with self._cv:
+            self._parked = True
+            self._cv.notify_all()
+            while not self._run:
+                self._cv.wait()
+            self._run = False
+        if self.space.killed:
+            raise GuestKilled()
+
+    def _die(self):
+        with self._cv:
+            self._dead = True
+            self._parked = True
+            self._cv.notify_all()
+
+    def _stop(self, trap, info="", state=SpaceState.STOPPED):
+        """Record why the space stopped and park."""
+        space = self.space
+        # "A space has a home node, to which the space migrates when
+        # interacting with its parent on a Ret or trap" (§3.3).
+        if space.cur_node != space.home_node:
+            self.engine.machine.kernel.migrate(space, space.home_node)
+        space.trap = trap
+        space.trap_info = info
+        space.state = state
+        # Close the current trace segment so the parent's wake-up can
+        # depend on it; reopen for a potential resumption.
+        trace = self.engine.machine.trace
+        if trace.is_open(space.uid):
+            trace.cut(space.uid, label=trap.name.lower())
+        self.park()
+
+    # -- thread main ------------------------------------------------------------
+
+    def _main(self):
+        try:
+            self.park()  # wait for the first resume
+            while True:
+                space = self.space
+                try:
+                    guest = self._make_guest(space)
+                    entry = self.engine.machine.resolve_entry(space)
+                    args = space.regs["args"] or ()
+                    result = entry(guest, *args)
+                    if result is not None:
+                        space.regs["r0"] = result
+                    self._stop(Trap.EXIT, state=SpaceState.EXITED)
+                    # Parent may restart us with a fresh entry (exec).
+                except MergeConflictError as exc:
+                    self._stop(Trap.CONFLICT, str(exc))
+                except PermissionFault as exc:
+                    self._stop(Trap.PERM_FAULT, str(exc))
+                except PageFaultError as exc:
+                    self._stop(Trap.PAGE_FAULT, str(exc))
+                except GuestKilled:
+                    raise
+                except BaseException as exc:  # noqa: BLE001 - trap semantics
+                    self._stop(Trap.EXC, f"{type(exc).__name__}: {exc}")
+        except GuestKilled:
+            pass
+        finally:
+            self._die()
+
+
+class Engine:
+    """Owns all guest contexts of one machine."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._contexts = []
+
+    def run_until_stopped(self, space):
+        """Run ``space`` until it parks (Ret, trap, limit, or exit).
+
+        May be called from the machine driver thread *or* from inside a
+        guest thread performing a rendezvous: in both cases the caller
+        holds the baton and blocks until the target gives it back.
+        """
+        if space.state is not SpaceState.READY:
+            return
+        if space.ctx is None or space.ctx.dead:
+            space.ctx = GuestContext(self, space, self.machine.make_guest)
+            self._contexts.append(space.ctx)
+        space.ctx.resume_and_wait()
+
+    def shutdown(self):
+        """Kill every guest thread (idempotent)."""
+        for ctx in self._contexts:
+            ctx.kill()
+        self._contexts.clear()

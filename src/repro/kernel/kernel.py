@@ -1,0 +1,367 @@
+"""Put/Get/Ret: the entire kernel API (paper §3.2, Tables 1 and 2).
+
+Option arguments accepted by :meth:`Kernel.sys_put` / :meth:`Kernel.sys_get`:
+
+===========  ====  ====  =====================================================
+option        Put   Get   meaning
+===========  ====  ====  =====================================================
+``regs``      X     X    Put: dict of register updates for the child.
+                         Get: pass ``regs=True`` to receive the child's
+                         register file + trap status.
+``copy``      X     X    ``(src, dst, size)`` or ``(addr, size)`` or a list
+                         of either: copy memory to (Put) / from (Get) the
+                         child, copy-on-write, page-aligned.
+``zero``      X     X    ``(addr, size)`` or list: zero-fill a range
+                         (in the child for Put, in the caller for Get).
+``snap``      X          ``(addr, size)``: snapshot the child's memory as
+                         the reference for later Merge.
+``start``     X          Start (or resume) the child executing.
+``limit``     X          Instruction limit for this start (None=unlimited).
+``merge``           X    ``True`` (whole snapshot range) or ``(addr, size)``:
+                         merge child's changes since its snapshot into the
+                         caller; write/write conflicts raise
+                         MergeConflictError in the caller.
+``perm``      X     X    ``(addr, size, perm)``: set page permissions
+                         (child range on Put, caller range on Get).
+``tree``      X     X    ``(src_child, dst_child)``: copy a (grand)child
+                         subtree between the caller's and the child's child
+                         namespaces (down for Put, up for Get).
+``grant_io``  X          Delegate I/O privilege to the child (paper §3.1:
+                         "I/O privileges delegated by the root space").
+===========  ====  ====  =====================================================
+
+High bits of the child number select the node to interact on (§3.3):
+use :func:`child_ref` to build cross-node child numbers.
+"""
+
+from repro.common.errors import BadChildError, KernelError
+from repro.kernel.space import Space, SpaceState
+from repro.kernel.traps import Trap
+from repro.mem.merge import merge_range
+from repro.mem.page import PAGE_SHIFT, PAGE_SIZE, Page
+from repro.mem.snapshot import Snapshot
+
+#: Bit position where the node-number field starts in a child number.
+NODE_SHIFT = 16
+#: Mask of the local child-number field.
+LOCAL_MASK = (1 << NODE_SHIFT) - 1
+
+
+def child_ref(local, node=None):
+    """Build a child number addressing ``local`` on ``node``.
+
+    ``node=None`` (or omitted) leaves the node field zero, which the
+    kernel interprets as the calling space's *home* node — so programs
+    that never pass a node keep their whole hierarchy on one node, as the
+    paper specifies (§3.3).
+    """
+    if not 0 <= local <= LOCAL_MASK:
+        raise ValueError(f"local child number {local} out of range")
+    if node is None:
+        return local
+    return ((node + 1) << NODE_SHIFT) | local
+
+
+def _normalize_ranges(spec, what):
+    """Normalize copy/zero specs to a list of (src, dst, size) tuples."""
+    if spec is None:
+        return []
+    if isinstance(spec, tuple):
+        spec = [spec]
+    out = []
+    for item in spec:
+        if len(item) == 2:
+            addr, size = item
+            out.append((addr, addr, size))
+        elif len(item) == 3:
+            out.append(tuple(item))
+        else:
+            raise KernelError(f"bad {what} spec {item!r}")
+    return out
+
+
+class Kernel:
+    """Implements the three system calls over a machine's space hierarchy."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    # -- helpers ----------------------------------------------------------
+
+    def kcharge(self, space, cycles):
+        """Charge kernel work to ``space``'s open trace segment."""
+        if cycles:
+            self.machine.trace.charge(space.uid, cycles)
+
+    def _decode_child(self, caller, childno):
+        """Node selected by the child number's high bits (§3.3).
+
+        The *full* child number — node field included — is the key in
+        the parent's child namespace: child 1 on node 2 and child 1 on
+        node 3 are distinct children.
+        """
+        node_field = childno >> NODE_SHIFT
+        target = caller.home_node if node_field == 0 else node_field - 1
+        if not 0 <= target < self.machine.nnodes:
+            raise KernelError(f"node {target} does not exist")
+        return childno, target
+
+    def _lookup(self, caller, childno, create=True):
+        child = caller.children.get(childno)
+        if child is None:
+            if not create:
+                raise BadChildError(f"no child {childno} in space {caller.uid}")
+            child = self.machine.new_space(caller, home_node=caller.cur_node)
+            caller.children[childno] = child
+            self.kcharge(caller, self.machine.cost.space_create)
+        return child
+
+    def _rendezvous(self, caller, child):
+        """Block the caller until a running child stops (paper §3.2)."""
+        if child.state is not SpaceState.READY:
+            return
+        self.machine.engine.run_until_stopped(child)
+        trace = self.machine.trace
+        _, opened = trace.cut(caller.uid, label="rendezvous")
+        last = trace.last_closed(child.uid)
+        if last is not None:
+            trace.edge(last, opened)
+
+    def migrate(self, space, target_node):
+        """Move a space's execution to another node (paper §3.3)."""
+        if target_node == space.cur_node:
+            return
+        cost = self.machine.cost
+        self.kcharge(space, cost.migrate_base + cost.net_msg)
+        trace = self.machine.trace
+        if trace.is_open(space.uid):
+            closed, opened = trace.move_node(space.uid, target_node)
+            trace.edge(closed, opened, latency=cost.net_latency)
+        space.cur_node = target_node
+
+    def touch(self, space, addr, size, write=False):
+        """Cluster demand paging: account for page fetches when a space
+        accesses memory away from where its frames were last materialized.
+
+        Unchanged frames (same serial) are served from the per-node
+        read-only page cache, reproducing the §3.3 optimization that lets
+        program text move free when a space revisits a node.
+        """
+        machine = self.machine
+        if machine.nnodes <= 1 or size == 0:
+            return
+        node = space.cur_node
+        cache = machine.node_cache[node]
+        vpn0 = addr >> PAGE_SHIFT
+        vpn1 = (addr + size - 1) >> PAGE_SHIFT
+        fetched = 0
+        for vpn in range(vpn0, vpn1 + 1):
+            frame = space.addrspace.frame(vpn)
+            if frame is None:
+                continue
+            if write:
+                frame.serial = Page.new_serial()
+                cache.add(frame.serial)
+            elif frame.serial not in cache:
+                cache.add(frame.serial)
+                fetched += 1
+        if fetched:
+            cost = machine.cost
+            per_page = cost.net_latency + cost.message(
+                PAGE_SIZE, tcp=machine.tcp_mode
+            )
+            self.kcharge(space, fetched * per_page)
+            machine.pages_fetched += fetched
+
+    def _copy_subtree(self, caller, src_space, new_parent):
+        """Deep COW clone of a space subtree (Tree option)."""
+        if not src_space.is_stopped():
+            raise KernelError("cannot Tree-copy a running space")
+        clone = self.machine.new_space(new_parent, home_node=new_parent.cur_node)
+        clone.addrspace = src_space.addrspace.clone()
+        clone.regs = dict(src_space.regs)
+        clone.trap = src_space.trap
+        clone.state = (
+            SpaceState.IDLE if src_space.state is SpaceState.IDLE else SpaceState.STOPPED
+        )
+        for num, grandchild in src_space.children.items():
+            clone.children[num] = self._copy_subtree(caller, grandchild, clone)
+        self.kcharge(
+            caller,
+            self.machine.cost.space_create
+            + src_space.addrspace.mapped_page_count() * self.machine.cost.page_map,
+        )
+        return clone
+
+    def _apply_copy(self, caller, dst_space, src_space, ranges):
+        cost = self.machine.cost
+        for src, dst, size in ranges:
+            # Cross-node: the caller just migrated to the child's node, so
+            # source pages it hasn't cached there must come over the wire.
+            self.touch(src_space, src, size)
+            dst_space.addrspace.copy_range_from(
+                src_space.addrspace, src, dst, size
+            )
+            npages = len(
+                src_space.addrspace.mapped_vpns_in(
+                    src >> PAGE_SHIFT, (src + size) >> PAGE_SHIFT
+                )
+            )
+            self.kcharge(caller, cost.syscall // 10 + npages * cost.page_map)
+
+    # -- Put ---------------------------------------------------------------
+
+    def sys_put(
+        self,
+        caller,
+        childno,
+        regs=None,
+        copy=None,
+        zero=None,
+        snap=None,
+        perm=None,
+        start=False,
+        limit=None,
+        tree=None,
+        grant_io=False,
+    ):
+        """The Put system call.  See the module docstring for options."""
+        cost = self.machine.cost
+        self.kcharge(caller, cost.syscall)
+        key, node = self._decode_child(caller, childno)
+        self.migrate(caller, node)
+        child = self._lookup(caller, key)
+        self._rendezvous(caller, child)
+
+        if regs:
+            child.set_regs(regs)
+        if grant_io:
+            if not caller.io_privilege:
+                raise KernelError("cannot delegate I/O privilege without it")
+            child.io_privilege = True
+        self._apply_copy(caller, child, caller, _normalize_ranges(copy, "copy"))
+        for _, addr, size in _normalize_ranges(zero, "zero"):
+            child.addrspace.zero_range(addr, size)
+            self.kcharge(caller, cost.syscall // 10)
+        if perm is not None:
+            addr, size, p = perm
+            child.addrspace.set_perm(addr, size, p)
+        if snap is not None:
+            addr, size = snap
+            if child.snapshot is not None:
+                child.snapshot.release()
+            child.snapshot = Snapshot.capture(child.addrspace, addr, size)
+            self.kcharge(caller, child.snapshot.page_count() * cost.page_map)
+        if tree is not None:
+            src_child, dst_child = tree
+            src = caller.children.get(src_child)
+            if src is None:
+                raise BadChildError(f"no child {src_child} to Tree-copy")
+            old = child.children.get(dst_child)
+            if old is not None:
+                old.destroy()
+            child.children[dst_child] = self._copy_subtree(caller, src, child)
+
+        if start:
+            self._start_child(caller, child, limit)
+        return None
+
+    def _start_child(self, caller, child, limit):
+        cost = self.machine.cost
+        trace = self.machine.trace
+        if child.trap is Trap.INSN_LIMIT:
+            self.kcharge(caller, cost.limit_resume)
+        child.trap = Trap.NONE
+        child.trap_info = ""
+        child.insn_limit = limit
+        child.state = SpaceState.READY
+        closed, _ = trace.cut(caller.uid, label="put-start")
+        if trace.is_open(child.uid):
+            trace.edge(closed, trace.current(child.uid))
+        else:
+            seg = trace.begin(child.uid, node=child.cur_node, label="start")
+            trace.edge(closed, seg)
+
+    # -- Get ---------------------------------------------------------------
+
+    def sys_get(
+        self,
+        caller,
+        childno,
+        regs=False,
+        copy=None,
+        zero=None,
+        merge=None,
+        merge_mode=None,
+        perm=None,
+        tree=None,
+    ):
+        """The Get system call.  Returns the child's register view when
+        ``regs=True``, else None."""
+        cost = self.machine.cost
+        self.kcharge(caller, cost.syscall)
+        key, node = self._decode_child(caller, childno)
+        self.migrate(caller, node)
+        child = self._lookup(caller, key)
+        self._rendezvous(caller, child)
+
+        self._apply_copy(caller, caller, child, _normalize_ranges(copy, "copy"))
+        if perm is not None:
+            addr, size, p = perm
+            caller.addrspace.set_perm(addr, size, p)
+        for _, addr, size in _normalize_ranges(zero, "zero"):
+            caller.addrspace.zero_range(addr, size)
+            self.kcharge(caller, cost.syscall // 10)
+        if merge is not None and merge is not False:
+            self._apply_merge(caller, child, merge, merge_mode)
+        if tree is not None:
+            src_child, dst_child = tree
+            src = child.children.get(src_child)
+            if src is None:
+                raise BadChildError(f"no grandchild {src_child} to Tree-copy")
+            old = caller.children.get(dst_child)
+            if old is not None:
+                old.destroy()
+            caller.children[dst_child] = self._copy_subtree(caller, src, caller)
+        if regs:
+            return child.reg_view()
+        return None
+
+    def _apply_merge(self, caller, child, merge, merge_mode=None):
+        if child.snapshot is None:
+            raise KernelError(
+                f"Merge requires a prior Snap on child of {caller.uid}"
+            )
+        cost = self.machine.cost
+        if merge is True:
+            addr = size = None
+        else:
+            addr, size = merge
+        self.touch(child, child.snapshot.addr if addr is None else addr,
+                   child.snapshot.size if size is None else size)
+        stats = merge_range(
+            caller.addrspace,
+            child.addrspace,
+            child.snapshot,
+            addr,
+            size,
+            mode=merge_mode or self.machine.merge_mode,
+        )
+        self.kcharge(
+            caller,
+            stats.pages_scanned * cost.page_scan
+            + stats.pages_diffed * cost.page_diff
+            + stats.pages_adopted * cost.page_adopt
+            + stats.bytes_merged * cost.byte_merge,
+        )
+        self.machine.merge_stats_total.append(stats)
+
+    # -- Ret ---------------------------------------------------------------
+
+    def sys_ret(self, space):
+        """The Ret system call: stop and wait for the parent.
+
+        Migration back to the home node happens in the engine's stop
+        path, which also covers traps and program exit (§3.3)."""
+        self.kcharge(space, self.machine.cost.syscall)
+        space.ctx._stop(Trap.RET)

@@ -1,0 +1,233 @@
+"""The Machine: one simulated computer (or homogeneous cluster).
+
+The machine owns the space hierarchy, the guest engine, the execution
+trace, and the I/O devices.  It plays the role of "everything outside the
+root space": it supplies the root's nondeterministic inputs explicitly
+(console input script, clock script) so a run is replayable byte for byte
+— the paper's §2.1 discipline of turning nondeterminism into explicit,
+controllable I/O.
+
+Typical use::
+
+    from repro.kernel import Machine
+
+    def main(g):
+        g.console_write(b"hello deterministic world\\n")
+        return 0
+
+    with Machine() as machine:
+        result = machine.run(main)
+        print(result.console.decode())
+        print(result.makespan(ncpus=4))
+"""
+
+from collections import defaultdict
+
+from repro.common.errors import KernelError
+from repro.kernel.engine import Engine
+from repro.kernel.guest import Guest
+from repro.kernel.kernel import Kernel
+from repro.kernel.space import Space, SpaceState
+from repro.timing.model import CostModel
+from repro.timing.schedule import schedule
+from repro.timing.trace import Trace
+
+
+class MachineResult:
+    """Outcome of a completed :meth:`Machine.run`."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        root = machine.root
+        #: The root space's status register at stop.
+        self.status = root.regs["status"]
+        #: The root space's r0 register (entry function's return value).
+        self.r0 = root.regs["r0"]
+        #: Why the root stopped (RET, EXIT, or a fault trap).
+        self.trap = root.trap
+        self.trap_info = root.trap_info
+        #: Everything written to the console device, in order.
+        self.console = bytes(machine.console_output)
+        #: Raw debug lines (paper §6.1's "real console" call).
+        self.debug = list(machine.debug_lines)
+        #: The recorded execution trace.
+        self.trace = machine.trace
+
+    def makespan(self, ncpus=None, cpus_per_node=None):
+        """Virtual completion time on ``ncpus`` CPUs per node."""
+        if ncpus is None:
+            ncpus = self.machine.cost.ncpus
+        return schedule(self.trace, ncpus=ncpus, cpus_per_node=cpus_per_node).makespan
+
+    def total_cycles(self):
+        """Total work performed (1-CPU lower bound)."""
+        return self.trace.total_cycles()
+
+    def __repr__(self):
+        return f"<MachineResult trap={self.trap.name} status={self.status!r}>"
+
+
+class Machine:
+    """A simulated Determinator computer."""
+
+    def __init__(
+        self,
+        cost=None,
+        nnodes=1,
+        console_input=b"",
+        time_script=(),
+        merge_mode="strict",
+        tcp_mode=False,
+        programs=None,
+    ):
+        #: Cost model used for all virtual-time charging.
+        self.cost = cost or CostModel()
+        #: Number of cluster nodes (1 = single machine; §3.3).
+        self.nnodes = nnodes
+        #: Default merge conflict mode (see repro.mem.merge.merge_range).
+        self.merge_mode = merge_mode
+        #: Model TCP-like framing on cluster messages (§6.3).
+        self.tcp_mode = tcp_mode
+
+        self.trace = Trace()
+        self.engine = Engine(self)
+        self.kernel = Kernel(self)
+        self.root = None
+
+        #: Named guest programs (resolvable by exec / string entries).
+        self.programs = dict(programs or {})
+
+        # Devices.
+        if isinstance(console_input, str):
+            console_input = console_input.encode()
+        self._console_in = bytes(console_input)
+        self._console_pos = 0
+        self.console_output = bytearray()
+        self._time_script = list(time_script)
+        self._time_idx = 0
+        self.debug_lines = []
+
+        # Cluster bookkeeping.
+        #: node -> set of frame serials materialized at that node (§3.3
+        #: read-only page cache).
+        self.node_cache = defaultdict(set)
+        #: Total demand page fetches across the run.
+        self.pages_fetched = 0
+
+        #: MergeStats of every kernel merge (tests, ablations).
+        self.merge_stats_total = []
+
+        self._uid_counter = 0
+        self._closed = False
+
+    # -- space management ---------------------------------------------------
+
+    def new_space(self, parent, home_node=0):
+        """Allocate a space (kernel-internal)."""
+        self._uid_counter += 1
+        return Space(self, parent, f"s{self._uid_counter}", home_node)
+
+    def register_program(self, name, entry):
+        """Register a named guest program (for exec and string entries)."""
+        self.programs[name] = entry
+        return entry
+
+    def resolve_entry(self, space):
+        """Resolve a space's entry register to a callable."""
+        entry = space.regs["entry"]
+        if callable(entry):
+            return entry
+        if isinstance(entry, str):
+            try:
+                return self.programs[entry]
+            except KeyError:
+                raise KernelError(f"no program named {entry!r}") from None
+        raise KernelError(f"space {space.uid} started with no entry")
+
+    def make_guest(self, space):
+        """Build the guest API handle for a space (engine callback)."""
+        return Guest(self.kernel, space)
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, entry, args=(), limit=None):
+        """Create the root space, run it to completion, drain stragglers.
+
+        ``entry`` may be a callable ``entry(g, *args)`` or the name of a
+        registered program.  Returns a :class:`MachineResult`.
+        """
+        if self.root is not None:
+            raise KernelError("machine already ran; create a fresh Machine")
+        root = self.new_space(None, home_node=0)
+        root.io_privilege = True
+        root.regs["entry"] = entry
+        root.regs["args"] = tuple(args)
+        root.insn_limit = limit
+        root.state = SpaceState.READY
+        self.root = root
+        self.trace.begin(root.uid, node=0, label="root")
+        self.engine.run_until_stopped(root)
+        self._drain()
+        self.trace.finish()
+        return MachineResult(self)
+
+    def _drain(self):
+        """Run spaces that were started but never joined, so their work
+        appears in the trace (they cannot affect anyone's results —
+        isolation — but they do occupy CPUs)."""
+        progress = True
+        while progress:
+            progress = False
+            for space in self.root.walk():
+                if space.state is SpaceState.READY:
+                    self.engine.run_until_stopped(space)
+                    progress = True
+
+    # -- devices -----------------------------------------------------------
+
+    def dev_console_write(self, data):
+        """Console output device (root-mediated)."""
+        self.console_output.extend(data)
+
+    def dev_console_read(self, n):
+        """Console input device: the next ``n`` scripted bytes."""
+        data = self._console_in[self._console_pos : self._console_pos + n]
+        self._console_pos += len(data)
+        return data
+
+    def dev_time(self):
+        """Clock device: scripted timestamps, then a deterministic ramp."""
+        if self._time_idx < len(self._time_script):
+            value = self._time_script[self._time_idx]
+        else:
+            value = 10**6 + self._time_idx
+        self._time_idx += 1
+        return value
+
+    def dev_debug(self, space, message):
+        """Immediate debug output, reflecting true execution order (§6.1)."""
+        self.debug_lines.append(f"[{space.uid}] {message}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Kill all guest threads and release memory (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.engine.shutdown()
+        if self.root is not None:
+            self.root.destroy()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

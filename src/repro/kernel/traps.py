@@ -1,0 +1,34 @@
+"""Trap/stop codes a space reports to its parent.
+
+"Finally, the Ret system call stops the calling space, returning control
+to the space's parent.  Exceptions such as divide-by-zero also cause a
+Ret, providing the parent a status code indicating why the child
+stopped." (paper §3.2)
+"""
+
+import enum
+
+
+class Trap(enum.IntEnum):
+    """Why a space most recently stopped."""
+
+    #: Space has not stopped (still runnable or never started).
+    NONE = 0
+    #: Explicit Ret system call.
+    RET = 1
+    #: The space's entry function returned (program exit).
+    EXIT = 2
+    #: Uncaught exception in guest code (divide-by-zero analogue).
+    EXC = 3
+    #: Access to an invalid simulated address.
+    PAGE_FAULT = 4
+    #: Access violating page permissions (Perm option).
+    PERM_FAULT = 5
+    #: Instruction limit expired (deterministic preemption, §3.2).
+    INSN_LIMIT = 6
+    #: Merge detected a write/write conflict (surfaced in the parent).
+    CONFLICT = 7
+
+    def is_fault(self):
+        """True for abnormal stops (exceptions rather than Ret/exit/limit)."""
+        return self in (Trap.EXC, Trap.PAGE_FAULT, Trap.PERM_FAULT, Trap.CONFLICT)

@@ -1,0 +1,47 @@
+"""Simulated paged virtual memory.
+
+This package stands in for the x86 MMU + page tables that the real
+Determinator kernel manipulates: 4 KiB pages, copy-on-write sharing,
+page permissions, address-space snapshots, and the byte-granularity
+three-way ``Merge`` with write/write conflict detection (paper §3.2).
+"""
+
+from repro.mem.page import Page, PAGE_SIZE, PAGE_SHIFT
+from repro.mem.layout import (
+    VA_SIZE,
+    TEXT_BASE,
+    SHARED_BASE,
+    SHARED_END,
+    FS_BASE,
+    FS_END,
+    SCRATCH_BASE,
+    SCRATCH_END,
+    PRIVATE_BASE,
+    PRIVATE_END,
+)
+from repro.mem.addrspace import AddressSpace, PERM_NONE, PERM_R, PERM_RW
+from repro.mem.snapshot import Snapshot
+from repro.mem.merge import merge_range, MergeStats
+
+__all__ = [
+    "Page",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "VA_SIZE",
+    "TEXT_BASE",
+    "SHARED_BASE",
+    "SHARED_END",
+    "FS_BASE",
+    "FS_END",
+    "SCRATCH_BASE",
+    "SCRATCH_END",
+    "PRIVATE_BASE",
+    "PRIVATE_END",
+    "AddressSpace",
+    "PERM_NONE",
+    "PERM_R",
+    "PERM_RW",
+    "Snapshot",
+    "merge_range",
+    "MergeStats",
+]

@@ -1,0 +1,303 @@
+"""Sparse, copy-on-write simulated address spaces.
+
+An :class:`AddressSpace` maps virtual page numbers to :class:`Page`
+frames with per-page permissions.  All sharing between spaces is
+copy-on-write: ``copy_range_from`` and snapshots share frames and bump
+refcounts; the first write through a shared mapping copies the frame.
+
+Demand-zero semantics: reading an unmapped page returns zeros; writing an
+unmapped page allocates a fresh zero frame.  This matches how the
+user-level runtime experiences memory on the real system (the parent maps
+zero-filled regions with the Zero option before starting a child) and
+keeps every access deterministic.
+"""
+
+import numpy as np
+
+from repro.common.errors import PageFaultError, PermissionFault
+from repro.mem.page import Page, PAGE_SIZE, PAGE_SHIFT
+from repro.mem.layout import VA_SIZE
+
+#: Page permission bits, set via the kernel's Perm option (paper Table 2).
+PERM_NONE = 0
+PERM_R = 1
+PERM_RW = 3
+
+
+class MemCounters:
+    """Cumulative accounting of memory events, for cost charging and tests."""
+
+    __slots__ = ("cow_breaks", "demand_zero", "pages_shared", "pages_zeroed")
+
+    def __init__(self):
+        self.cow_breaks = 0
+        self.demand_zero = 0
+        self.pages_shared = 0
+        self.pages_zeroed = 0
+
+    def snapshot(self):
+        """Return a plain dict copy of the counters."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _check_range(addr, size):
+    if size < 0:
+        raise ValueError("negative size")
+    if addr < 0 or addr + size > VA_SIZE:
+        raise PageFaultError(addr, f"range {addr:#x}+{size:#x} outside address space")
+
+
+def _check_page_aligned(addr, size):
+    if addr % PAGE_SIZE or size % PAGE_SIZE:
+        raise ValueError(
+            f"range {addr:#x}+{size:#x} must be page-aligned for this operation"
+        )
+
+
+class AddressSpace:
+    """A private virtual address space, the memory half of a *space* (§3.1)."""
+
+    def __init__(self):
+        # vpn -> Page
+        self._pages = {}
+        # vpn -> perm; pages absent from this dict default to PERM_RW.
+        self._perms = {}
+        self.counters = MemCounters()
+
+    # -- introspection ----------------------------------------------------
+
+    def mapped_page_count(self):
+        """Number of pages currently mapped."""
+        return len(self._pages)
+
+    def mapped_vpns(self):
+        """Sorted list of mapped virtual page numbers."""
+        return sorted(self._pages)
+
+    def mapped_vpns_in(self, vpn0, vpn1):
+        """Sorted mapped vpns in ``[vpn0, vpn1)``.
+
+        Address-space regions are huge (hundreds of MB) but sparse, so all
+        range operations iterate mapped pages, never the full page range.
+        """
+        return sorted(v for v in self._pages if vpn0 <= v < vpn1)
+
+    def frame(self, vpn):
+        """The :class:`Page` mapped at ``vpn``, or None."""
+        return self._pages.get(vpn)
+
+    def perm(self, vpn):
+        """Effective permission for ``vpn`` (unmapped pages default RW)."""
+        return self._perms.get(vpn, PERM_RW)
+
+    # -- page-level operations --------------------------------------------
+
+    def _map(self, vpn, page, perm=None):
+        old = self._pages.get(vpn)
+        if old is not None:
+            old.decref()
+        self._pages[vpn] = page
+        if perm is not None:
+            self._perms[vpn] = perm
+
+    def _ensure_writable(self, vpn):
+        """Return a privately-owned frame for ``vpn``, allocating or
+        COW-copying as needed.  Returns (page, cost_event) where cost_event
+        is 'hit', 'zero', or 'cow'."""
+        page = self._pages.get(vpn)
+        if page is None:
+            page = Page()
+            self._pages[vpn] = page
+            self.counters.demand_zero += 1
+            return page, "zero"
+        if page.refs > 1:
+            page.decref()
+            page = page.fork_copy()
+            self._pages[vpn] = page
+            self.counters.cow_breaks += 1
+            return page, "cow"
+        return page, "hit"
+
+    # -- byte-level access (used by the guest API) ------------------------
+
+    def read(self, addr, size, check_perm=False):
+        """Read ``size`` bytes at ``addr``.  Unmapped pages read as zeros."""
+        _check_range(addr, size)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            vpn = (addr + pos) >> PAGE_SHIFT
+            off = (addr + pos) & (PAGE_SIZE - 1)
+            n = min(PAGE_SIZE - off, size - pos)
+            if check_perm and not (self.perm(vpn) & PERM_R):
+                raise PermissionFault(addr + pos, "read")
+            page = self._pages.get(vpn)
+            if page is not None:
+                out[pos : pos + n] = page.data[off : off + n]
+            pos += n
+        return bytes(out)
+
+    def write(self, addr, data, check_perm=False):
+        """Write ``data`` at ``addr``.  Returns the number of page events
+        (COW breaks + demand-zero fills) so callers can charge costs."""
+        size = len(data)
+        _check_range(addr, size)
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            view = memoryview(data)
+        else:
+            view = memoryview(bytes(data))
+        events = 0
+        pos = 0
+        while pos < size:
+            vpn = (addr + pos) >> PAGE_SHIFT
+            off = (addr + pos) & (PAGE_SIZE - 1)
+            n = min(PAGE_SIZE - off, size - pos)
+            if check_perm and not (self.perm(vpn) & PERM_RW & 2):
+                raise PermissionFault(addr + pos, "write")
+            page, event = self._ensure_writable(vpn)
+            if event != "hit":
+                events += 1
+            page.data[off : off + n] = view[pos : pos + n]
+            pos += n
+        return events
+
+    def as_array(self, addr, size, writable=False):
+        """Return a numpy uint8 view covering ``[addr, addr+size)``.
+
+        The range must lie within one page unless it is page-aligned; for
+        multi-page ranges a contiguous view is only possible page-by-page,
+        so this returns a *copy* for read-only multi-page requests and
+        raises for writable ones.  The guest API's ``map_array`` builds
+        typed views page-by-page on top of this primitive.
+        """
+        _check_range(addr, size)
+        vpn = addr >> PAGE_SHIFT
+        off = addr & (PAGE_SIZE - 1)
+        if off + size <= PAGE_SIZE:
+            if writable:
+                page, _ = self._ensure_writable(vpn)
+            else:
+                page = self._pages.get(vpn)
+                if page is None:
+                    page, _ = self._ensure_writable(vpn)
+            return np.frombuffer(page.data, dtype=np.uint8)[off : off + size]
+        if writable:
+            raise ValueError("writable views must not cross page boundaries")
+        return np.frombuffer(self.read(addr, size), dtype=np.uint8)
+
+    def privatize_range(self, addr, size):
+        """Ensure every page overlapping ``[addr, addr+size)`` is mapped and
+        privately owned (pre-faulting for writable array views).
+
+        Returns ``(cow_breaks, zero_fills)`` for cost charging.
+        """
+        _check_range(addr, size)
+        vpn0 = addr >> PAGE_SHIFT
+        vpn1 = (addr + size - 1) >> PAGE_SHIFT if size else vpn0 - 1
+        cow = zero = 0
+        for vpn in range(vpn0, vpn1 + 1):
+            _, event = self._ensure_writable(vpn)
+            if event == "cow":
+                cow += 1
+            elif event == "zero":
+                zero += 1
+        return cow, zero
+
+    def page_bytes(self, vpn):
+        """Bytes of the page at ``vpn`` (zeros if unmapped). No copy if mapped."""
+        page = self._pages.get(vpn)
+        if page is None:
+            return None
+        return page.data
+
+    # -- range operations (kernel Copy / Zero / Perm, page-aligned) -------
+
+    def copy_range_from(self, src, src_addr, dst_addr, size, perm=None):
+        """Logically copy ``[src_addr, src_addr+size)`` of ``src`` into
+        ``[dst_addr, ...)`` of self, sharing frames copy-on-write.
+
+        Implements the kernel Copy option (paper §3.2): "the kernel uses
+        copy-on-write to optimize large copies".  Returns the number of
+        pages whose mappings changed (for cost accounting).
+        """
+        _check_range(src_addr, size)
+        _check_range(dst_addr, size)
+        _check_page_aligned(src_addr, size)
+        _check_page_aligned(dst_addr, size)
+        src_vpn0 = src_addr >> PAGE_SHIFT
+        dst_vpn0 = dst_addr >> PAGE_SHIFT
+        npages = size >> PAGE_SHIFT
+        # Only pages mapped on either side can need work (sparse ranges).
+        candidates = set(src.mapped_vpns_in(src_vpn0, src_vpn0 + npages))
+        shift = dst_vpn0 - src_vpn0
+        candidates.update(
+            v - shift for v in self.mapped_vpns_in(dst_vpn0, dst_vpn0 + npages)
+        )
+        touched = 0
+        for svpn in sorted(candidates):
+            i = svpn - src_vpn0
+            spage = src._pages.get(src_vpn0 + i)
+            dvpn = dst_vpn0 + i
+            dpage = self._pages.get(dvpn)
+            if spage is None:
+                if dpage is not None:
+                    dpage.decref()
+                    del self._pages[dvpn]
+                    touched += 1
+                self._perms.pop(dvpn, None)
+                if perm is not None:
+                    self._perms[dvpn] = perm
+                continue
+            if spage is dpage:
+                continue
+            self._map(dvpn, spage.incref(), perm)
+            self.counters.pages_shared += 1
+            touched += 1
+        return touched
+
+    def zero_range(self, addr, size):
+        """Zero-fill a page-aligned range (kernel Zero option).
+
+        Implemented by unmapping: demand-zero reads make this equivalent
+        to mapping fresh zero frames, without the cost.
+        """
+        _check_range(addr, size)
+        _check_page_aligned(addr, size)
+        vpn0 = addr >> PAGE_SHIFT
+        npages = size >> PAGE_SHIFT
+        removed = 0
+        for vpn in self.mapped_vpns_in(vpn0, vpn0 + npages):
+            self._pages.pop(vpn).decref()
+            removed += 1
+        for vpn in [v for v in self._perms if vpn0 <= v < vpn0 + npages]:
+            del self._perms[vpn]
+        self.counters.pages_zeroed += removed
+        return removed
+
+    def set_perm(self, addr, size, perm):
+        """Set page permissions on a page-aligned range (Perm option)."""
+        _check_range(addr, size)
+        _check_page_aligned(addr, size)
+        vpn0 = addr >> PAGE_SHIFT
+        for vpn in range(vpn0, vpn0 + (size >> PAGE_SHIFT)):
+            self._perms[vpn] = perm
+
+    def clone(self):
+        """Return a full COW clone of this address space (used by the
+        kernel's Tree option and by space migration)."""
+        out = AddressSpace()
+        for vpn, page in self._pages.items():
+            out._pages[vpn] = page.incref()
+        out._perms = dict(self._perms)
+        out.counters.pages_shared += len(self._pages)
+        return out
+
+    def drop_all(self):
+        """Release every mapping (space destruction)."""
+        for page in self._pages.values():
+            page.decref()
+        self._pages.clear()
+        self._perms.clear()
+
+    def __repr__(self):
+        return f"<AddressSpace pages={len(self._pages)}>"

@@ -1,0 +1,148 @@
+"""Byte-granularity three-way merge — the kernel Merge option (paper §3.2).
+
+    "A Merge is like a Copy, except the kernel copies only bytes that
+    differ between the child's current and reference snapshots into the
+    parent space, leaving other bytes in the parent untouched.  The
+    kernel also detects conflicts: if a byte changed in both the child's
+    and parent's spaces since the snapshot, the kernel generates an
+    exception."
+
+The fast paths matter: most pages are untouched (frame identity equals the
+snapshot frame) or changed on only one side (whole-frame adoption).  Only
+pages written on both sides need the numpy byte-diff.
+"""
+
+import numpy as np
+
+from repro.common.errors import MergeConflictError
+from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
+
+_ZEROS = np.zeros(PAGE_SIZE, dtype=np.uint8)
+
+
+class MergeStats:
+    """Cost-relevant accounting returned by :func:`merge_range`."""
+
+    __slots__ = ("pages_scanned", "pages_diffed", "pages_adopted", "bytes_merged")
+
+    def __init__(self):
+        self.pages_scanned = 0
+        self.pages_diffed = 0
+        self.pages_adopted = 0
+        self.bytes_merged = 0
+
+    def __repr__(self):
+        return (
+            f"<MergeStats scanned={self.pages_scanned} diffed={self.pages_diffed}"
+            f" adopted={self.pages_adopted} bytes={self.bytes_merged}>"
+        )
+
+
+def _page_array(space_page):
+    """uint8 view of a frame's bytes, or the shared zero array if None."""
+    if space_page is None:
+        return _ZEROS
+    return np.frombuffer(space_page.data, dtype=np.uint8)
+
+
+#: Valid merge conflict-handling modes.
+MODES = ("strict", "lenient", "override")
+
+
+def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
+    """Merge the child's changes since ``snapshot`` into ``parent``.
+
+    Parameters
+    ----------
+    parent, child:
+        :class:`~repro.mem.addrspace.AddressSpace` objects.
+    snapshot:
+        The child's reference :class:`~repro.mem.snapshot.Snapshot`
+        (captured from the parent's image at fork time).
+    addr, size:
+        Page-aligned subrange to merge; defaults to the snapshot's range.
+    mode:
+        ``"strict"`` (the paper's semantics): a byte changed on *both*
+        sides raises :class:`MergeConflictError` even when both sides
+        wrote the same value.  ``"lenient"``: identical concurrent writes
+        are tolerated (ablation in ``benchmarks/bench_ablation_merge.py``).
+        ``"override"``: no conflict detection — the child's changes win,
+        which is what the deterministic legacy-pthreads scheduler (§4.5)
+        needs to give racy programs a repeatable, merge-order-defined
+        outcome instead of an error.
+
+    Returns
+    -------
+    MergeStats
+        Page/byte counts for cost-model charging.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown merge mode {mode!r}")
+    if addr is None:
+        addr, size = snapshot.addr, snapshot.size
+    if addr % PAGE_SIZE or size % PAGE_SIZE:
+        raise ValueError("merge range must be page-aligned")
+    stats = MergeStats()
+    vpn0 = addr >> PAGE_SHIFT
+    vpn1 = vpn0 + (size >> PAGE_SHIFT)
+    if not (snapshot.covers(vpn0) and (size == 0 or snapshot.covers(vpn1 - 1))):
+        raise ValueError(
+            f"merge range {addr:#x}+{size:#x} outside snapshot range"
+        )
+    # Only pages mapped somewhere can differ from anything: iterate the
+    # union of child/parent/snapshot mappings, never the raw page range.
+    candidates = set(child.mapped_vpns_in(vpn0, vpn1))
+    candidates.update(parent.mapped_vpns_in(vpn0, vpn1))
+    candidates.update(snapshot.frame_vpns_in(vpn0, vpn1))
+    for vpn in sorted(candidates):
+        snap_frame = snapshot.frame(vpn)
+        child_frame = child.frame(vpn)
+        parent_frame = parent.frame(vpn)
+        stats.pages_scanned += 1
+
+        # Fast path 1: the child never broke COW on this page -> unchanged.
+        if child_frame is snap_frame:
+            continue
+
+        child_arr = _page_array(child_frame)
+        snap_arr = _page_array(snap_frame)
+        child_diff = child_arr != snap_arr
+        if not child_diff.any():
+            continue
+
+        # Fast path 2: parent still maps the snapshot frame -> parent
+        # unchanged; adopt the child's whole frame copy-on-write.
+        if parent_frame is snap_frame:
+            if child_frame is None:
+                parent.zero_range(vpn << PAGE_SHIFT, PAGE_SIZE)
+            else:
+                parent.copy_range_from(
+                    child, vpn << PAGE_SHIFT, vpn << PAGE_SHIFT, PAGE_SIZE
+                )
+            stats.pages_adopted += 1
+            stats.bytes_merged += int(child_diff.sum())
+            continue
+
+        parent_arr = _page_array(parent_frame)
+        parent_diff = parent_arr != snap_arr
+        both = child_diff & parent_diff
+        stats.pages_diffed += 1
+        if both.any() and mode != "override":
+            if mode == "strict":
+                idx = int(np.flatnonzero(both)[0])
+                raise MergeConflictError((vpn << PAGE_SHIFT) + idx)
+            hard = both & (child_arr != parent_arr)
+            if hard.any():
+                idx = int(np.flatnonzero(hard)[0])
+                raise MergeConflictError((vpn << PAGE_SHIFT) + idx)
+
+        take = child_diff if mode != "lenient" else child_diff & ~parent_diff
+        nbytes = int(take.sum())
+        if nbytes == 0:
+            continue
+        # Write the differing bytes into a privately-owned parent frame.
+        page, _ = parent._ensure_writable(vpn)
+        dst = np.frombuffer(page.data, dtype=np.uint8)
+        dst[take] = child_arr[take]
+        stats.bytes_merged += nbytes
+    return stats

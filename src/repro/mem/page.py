@@ -1,0 +1,63 @@
+"""Physical page frames with reference counting for copy-on-write."""
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4096, as on the paper's 32-bit x86 prototype
+
+_ZERO_BYTES = bytes(PAGE_SIZE)
+
+
+class Page:
+    """A simulated physical page frame.
+
+    ``refs`` counts how many page-table entries (and snapshots) reference
+    the frame.  A frame with ``refs > 1`` is logically read-only: writers
+    must copy it first (:meth:`repro.mem.addrspace.AddressSpace` handles
+    this).  This mirrors the kernel's copy-on-write optimization that makes
+    whole-address-space Copy and Snap cheap (paper §3.2, §4.2).
+    """
+
+    __slots__ = ("data", "refs", "serial")
+
+    #: Monotonic frame serial source.  Serials identify frame *versions*
+    #: for the cluster's read-only page cache (§3.3): a frame's content
+    #: never changes while shared, so caching by serial is sound.
+    _next_serial = 0
+
+    def __init__(self, data=None):
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise ValueError(f"page data must be {PAGE_SIZE} bytes")
+            self.data = bytearray(data)
+        self.refs = 1
+        Page._next_serial += 1
+        self.serial = Page._next_serial
+
+    @classmethod
+    def new_serial(cls):
+        """Allocate a fresh frame-version serial (cluster cache bump)."""
+        cls._next_serial += 1
+        return cls._next_serial
+
+    def incref(self):
+        """Add a reference; returns self for chaining."""
+        self.refs += 1
+        return self
+
+    def decref(self):
+        """Drop a reference.  Frames are garbage-collected by Python."""
+        if self.refs <= 0:
+            raise AssertionError("page refcount underflow")
+        self.refs -= 1
+
+    def fork_copy(self):
+        """Return a private writable copy of this frame (COW break)."""
+        return Page(self.data)
+
+    def is_zero(self):
+        """True if every byte of the frame is zero."""
+        return bytes(self.data) == _ZERO_BYTES
+
+    def __repr__(self):
+        return f"<Page refs={self.refs}>"

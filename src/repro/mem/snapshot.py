@@ -1,0 +1,61 @@
+"""Address-space snapshots (the kernel Snap option, paper §3.2).
+
+A snapshot records, copy-on-write, the frames mapped over a range of a
+space's address space at the instant of the Snap.  It later serves as the
+*reference* against which Merge computes what the child changed.
+"""
+
+from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
+
+
+class Snapshot:
+    """Immutable reference copy of a range of an address space."""
+
+    def __init__(self, addr, size, frames):
+        #: Base address of the snapshotted range.
+        self.addr = addr
+        #: Size of the snapshotted range in bytes.
+        self.size = size
+        #: vpn -> Page (refcounted shares); vpns absent were unmapped.
+        self._frames = frames
+
+    @classmethod
+    def capture(cls, space, addr, size):
+        """Snapshot ``[addr, addr+size)`` of ``space`` (page-aligned)."""
+        if addr % PAGE_SIZE or size % PAGE_SIZE:
+            raise ValueError("snapshot range must be page-aligned")
+        vpn0 = addr >> PAGE_SHIFT
+        frames = {}
+        for vpn in space.mapped_vpns_in(vpn0, vpn0 + (size >> PAGE_SHIFT)):
+            frames[vpn] = space.frame(vpn).incref()
+        space.counters.pages_shared += len(frames)
+        return cls(addr, size, frames)
+
+    def frame(self, vpn):
+        """The frame snapshotted at ``vpn``, or None if it was unmapped."""
+        return self._frames.get(vpn)
+
+    def frame_vpns_in(self, vpn0, vpn1):
+        """Vpns of retained frames inside ``[vpn0, vpn1)``."""
+        return [v for v in self._frames if vpn0 <= v < vpn1]
+
+    def covers(self, vpn):
+        """True if ``vpn`` lies inside the snapshotted range."""
+        vpn0 = self.addr >> PAGE_SHIFT
+        return vpn0 <= vpn < vpn0 + (self.size >> PAGE_SHIFT)
+
+    def page_count(self):
+        """Number of frames retained by the snapshot."""
+        return len(self._frames)
+
+    def release(self):
+        """Drop all frame references (snapshot discarded/replaced)."""
+        for page in self._frames.values():
+            page.decref()
+        self._frames = {}
+
+    def __repr__(self):
+        return (
+            f"<Snapshot {self.addr:#x}+{self.size:#x} "
+            f"frames={len(self._frames)}>"
+        )

@@ -1,0 +1,51 @@
+"""Determinator's user-level runtime (paper §4).
+
+Everything in this package is *guest code*: it runs inside spaces and
+uses only the :class:`repro.kernel.guest.Guest` API, exactly as the real
+runtime is unprivileged user-space code.  Kernel bugs excepted, nothing
+here can break the kernel's determinism guarantee (§1).
+
+Modules:
+
+* :mod:`repro.runtime.fs` — the logically shared file system kept as a
+  replica in every process image, with file versioning, reconciliation,
+  append-only console/log merging and conflict flags (§4.2, §4.3).
+* :mod:`repro.runtime.process` — fork/exec/wait with process-local PIDs
+  and deterministic ``wait()`` (§4.1), plus hierarchical console I/O.
+* :mod:`repro.runtime.threads` — shared-memory threads in the private
+  workspace model via kernel Snap/Merge; fork/join and barriers (§4.4).
+* :mod:`repro.runtime.dsched` — the deterministic scheduler emulating
+  nondeterministic legacy pthreads with instruction-limit quanta and
+  mutex-ownership stealing (§4.5).
+* :mod:`repro.runtime.make` — a miniature parallel ``make`` used to
+  reproduce the Figure 4 scheduling scenarios.
+"""
+
+from repro.runtime.fs import FileSystem, O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_APPEND, O_TRUNC
+from repro.runtime.threads import ThreadGroup, thread_fork, thread_join
+from repro.runtime.process import ProcessRuntime, unix_root
+from repro.runtime.dsched import DetScheduler, DetThread
+from repro.runtime.make import Make, MakeRule
+from repro.runtime.shell import Shell
+from repro.runtime.checkpoint import Checkpointer
+
+__all__ = [
+    "FileSystem",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_APPEND",
+    "O_TRUNC",
+    "ThreadGroup",
+    "thread_fork",
+    "thread_join",
+    "ProcessRuntime",
+    "unix_root",
+    "DetScheduler",
+    "DetThread",
+    "Make",
+    "MakeRule",
+    "Shell",
+    "Checkpointer",
+]

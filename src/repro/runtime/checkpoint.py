@@ -1,0 +1,119 @@
+"""Checkpoint/rollback of space subtrees via the kernel Tree option.
+
+The paper's introduction motivates determinism as "the foundation of
+replay debugging, fault tolerance and accountability": if execution is
+deterministic, a checkpoint plus the input log *is* the recovery story.
+This module provides that mechanism as user-level runtime code:
+
+* a **freezer** child space whose own children hold frozen copies of
+  computation subtrees (registers + memory + descendants, all
+  copy-on-write, so checkpoints are cheap);
+* ``save(slot, tag)`` — Tree-copy the caller's child into the freezer;
+* ``restore(slot, tag)`` — Tree-copy a frozen image back over the child;
+* combined with instruction limits, this quantizes a computation into
+  checkpointable epochs (see ``examples/fault_tolerance.py``).
+
+Because execution is deterministic, re-running from a restored
+checkpoint reproduces the original execution exactly — including any
+crash — unless the supervisor changes the subtree's inputs first.
+
+**Restartability convention.**  Real Determinator freezes the CPU
+register state mid-instruction; our register file holds function-entry
+continuations (DESIGN.md), so a *restored* space restarts at its entry.
+Checkpointable computations must therefore keep their progress in
+simulated memory — which is exactly the state the freezer preserves —
+and derive their position from it on entry (the standard
+checkpoint-restart loop structure).  Spaces parked by instruction limits
+that are *not* restored resume in place as usual.
+"""
+
+from repro.common.errors import RuntimeApiError
+
+#: Default child slot that hosts the freezer space.
+FREEZER_SLOT = 0xF000
+
+
+class Checkpointer:
+    """Manage frozen images of one space's children.
+
+    Used from guest code::
+
+        ckpt = Checkpointer(g)
+        g.put(1, regs={...}, start=True, limit=QUANTUM)
+        g.get(1, regs=True)              # child parked at the limit
+        ckpt.save(1, "epoch-0")          # freeze it
+        ...
+        ckpt.restore(1, "epoch-0")       # roll back
+        g.put(1, start=True, limit=QUANTUM)
+    """
+
+    def __init__(self, g, freezer_slot=FREEZER_SLOT):
+        self.g = g
+        self.freezer_slot = freezer_slot
+        #: tag -> freezer-child number.
+        self._tags = {}
+        self._next = 1
+        # Materialize the freezer space (never started; pure storage).
+        g.put(freezer_slot)
+
+    def save(self, child_slot, tag):
+        """Freeze the subtree at ``child_slot`` under ``tag``.
+
+        The child must be stopped (Ret, trap, instruction limit, or
+        exit); overwrites any previous checkpoint with the same tag.
+        """
+        tagno = self._tags.get(tag)
+        if tagno is None:
+            tagno = self._next
+            self._next += 1
+        self.g.put(self.freezer_slot, tree=(child_slot, tagno))
+        self._tags[tag] = tagno
+        return tag
+
+    def restore(self, child_slot, tag):
+        """Replace ``child_slot``'s subtree with the frozen image."""
+        tagno = self._tags.get(tag)
+        if tagno is None:
+            raise RuntimeApiError(f"no checkpoint tagged {tag!r}")
+        self.g.get(self.freezer_slot, tree=(tagno, child_slot))
+
+    def drop(self, tag):
+        """Discard a checkpoint (frees its copy-on-write references)."""
+        tagno = self._tags.pop(tag, None)
+        if tagno is None:
+            raise RuntimeApiError(f"no checkpoint tagged {tag!r}")
+        freezer = self.g.space.children.get(self.freezer_slot)
+        frozen = freezer.children.get(tagno) if freezer else None
+        if frozen is not None:
+            frozen.destroy()
+
+    def tags(self):
+        """Currently saved checkpoint tags, in save order."""
+        return sorted(self._tags, key=self._tags.get)
+
+
+def run_with_checkpoints(g, entry, args=(), quantum=1_000_000,
+                         child_slot=0x700, keep=4):
+    """Drive ``entry`` in a child space, checkpointing every quantum.
+
+    Returns ``(final_regs_view, checkpointer, epochs)`` — the caller can
+    roll back to any retained epoch tag (``"epoch-N"``) and re-drive.
+    """
+    from repro.kernel.traps import Trap
+
+    ckpt = Checkpointer(g)
+    g.put(child_slot, regs={"entry": entry, "args": tuple(args)},
+          start=True, limit=quantum)
+    epochs = 0
+    while True:
+        view = g.get(child_slot, regs=True)
+        if view["trap"] is not Trap.INSN_LIMIT:
+            return view, ckpt, epochs
+        ckpt.save(child_slot, f"epoch-{epochs}")
+        if epochs >= keep:
+            try:
+                ckpt.drop(f"epoch-{epochs - keep}")
+            except RuntimeApiError:
+                pass
+        epochs += 1
+        g.put(child_slot, start=True, limit=quantum)

@@ -1,0 +1,153 @@
+"""Deterministic list scheduling of a trace onto CPUs.
+
+Given the segment DAG recorded in a :class:`~repro.timing.trace.Trace`,
+compute the makespan achievable with a fixed number of CPUs per node.
+Greedy list scheduling (ready segments run FIFO by segment id on the
+first free CPU of their node) — the same policy a work-conserving kernel
+scheduler approximates — with fully deterministic tie-breaking.
+
+Latency on an edge models network transit: the destination becomes ready
+``latency`` cycles after the source finishes, occupying no CPU.
+"""
+
+import heapq
+from collections import defaultdict
+
+
+class ScheduleResult:
+    """Outcome of scheduling a trace."""
+
+    __slots__ = ("makespan", "busy", "start", "finish", "cpu_count")
+
+    def __init__(self, makespan, busy, start, finish, cpu_count):
+        #: Total virtual time from first segment start to last finish.
+        self.makespan = makespan
+        #: Total CPU-busy cycles (sum of scheduled segment durations).
+        self.busy = busy
+        #: segment id -> start time.
+        self.start = start
+        #: segment id -> finish time.
+        self.finish = finish
+        #: Total CPUs across all nodes.
+        self.cpu_count = cpu_count
+
+    @property
+    def utilization(self):
+        """Fraction of CPU capacity kept busy over the makespan."""
+        if self.makespan == 0:
+            return 0.0
+        return self.busy / (self.makespan * self.cpu_count)
+
+    def __repr__(self):
+        return (
+            f"<ScheduleResult makespan={self.makespan} "
+            f"utilization={self.utilization:.2%}>"
+        )
+
+
+def schedule(trace, ncpus=1, cpus_per_node=None):
+    """Compute the makespan of ``trace`` on the given CPU configuration.
+
+    Parameters
+    ----------
+    trace:
+        A finished :class:`~repro.timing.trace.Trace` (all segments closed).
+    ncpus:
+        CPUs available on every node not listed in ``cpus_per_node``.
+    cpus_per_node:
+        Optional dict node -> CPU count overriding ``ncpus``.
+
+    Returns
+    -------
+    ScheduleResult
+    """
+    segments = trace.segments
+    if not segments:
+        return ScheduleResult(0, 0, {}, {}, max(1, ncpus))
+
+    npreds = [0] * len(segments)
+    succs = defaultdict(list)
+    for src, dst, latency in trace.edges:
+        npreds[dst] += 1
+        succs[src].append((dst, latency))
+
+    cpus_per_node = cpus_per_node or {}
+
+    def node_cpus(node):
+        return cpus_per_node.get(node, ncpus)
+
+    free = defaultdict(int)        # node -> free CPU count (lazy init)
+    seen_nodes = set()
+    ready = defaultdict(list)      # node -> heap of (seg_id)
+    ready_at = [0] * len(segments)
+    start = {}
+    finish = {}
+    events = []                    # heap of (time, order, kind, payload)
+    order = 0
+
+    def ensure_node(node):
+        if node not in seen_nodes:
+            seen_nodes.add(node)
+            free[node] = node_cpus(node)
+
+    def make_ready(time, seg_id):
+        seg = segments[seg_id]
+        ensure_node(seg.node)
+        heapq.heappush(ready[seg.node], seg_id)
+        dispatch(time, seg.node)
+
+    def dispatch(time, node):
+        nonlocal order
+        while free[node] > 0 and ready[node]:
+            seg_id = heapq.heappop(ready[node])
+            free[node] -= 1
+            seg = segments[seg_id]
+            start[seg_id] = time
+            finish_time = time + seg.cycles
+            order += 1
+            heapq.heappush(events, (finish_time, order, "finish", seg_id))
+
+    roots = [i for i, n in enumerate(npreds) if n == 0]
+    for seg_id in roots:
+        make_ready(0, seg_id)
+
+    now = 0
+    busy = 0
+    while events:
+        now, _, kind, seg_id = heapq.heappop(events)
+        if kind == "arrive":
+            make_ready(now, seg_id)
+            continue
+        # finish
+        seg = segments[seg_id]
+        finish[seg_id] = now
+        busy += seg.cycles
+        free[seg.node] += 1
+        for dst, latency in succs[seg_id]:
+            npreds[dst] -= 1
+            ready_at[dst] = max(ready_at[dst], now + latency)
+            if npreds[dst] == 0:
+                if ready_at[dst] > now:
+                    order_ = len(events)
+                    heapq.heappush(
+                        events, (ready_at[dst], 10**9 + dst, "arrive", dst)
+                    )
+                else:
+                    make_ready(now, dst)
+        dispatch(now, seg.node)
+
+    unscheduled = [i for i in range(len(segments)) if i not in finish]
+    if unscheduled:
+        raise ValueError(
+            f"trace contains a cycle or dangling dependency; "
+            f"{len(unscheduled)} segments never ran (first: {unscheduled[:3]})"
+        )
+
+    total_cpus = sum(free[node] for node in seen_nodes) or max(1, ncpus)
+    return ScheduleResult(now, busy, start, finish, total_cpus)
+
+
+def critical_path(trace):
+    """Length of the longest path through the trace (infinite-CPU bound)."""
+    result = schedule(trace, ncpus=10**9)
+    return result.makespan

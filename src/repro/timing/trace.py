@@ -1,0 +1,131 @@
+"""Execution traces: segments of work connected by precedence edges.
+
+During logical execution every space (or baseline thread) owns one *open*
+segment accumulating charged cycles.  At each synchronization event the
+owner ``cut``s: the open segment closes and a new one opens, with an
+implicit program-order edge between them.  Cross-space dependencies
+(Put-starts-child, Get-waits-for-child, network messages) become explicit
+edges, optionally carrying latency (network transit time that occupies no
+CPU).
+
+The resulting DAG is fed to :func:`repro.timing.schedule.schedule`.
+"""
+
+
+class Segment:
+    """A contiguous chunk of one execution context's work."""
+
+    __slots__ = ("id", "uid", "node", "cycles", "label", "closed")
+
+    def __init__(self, seg_id, uid, node, label=""):
+        self.id = seg_id
+        self.uid = uid
+        self.node = node
+        self.cycles = 0
+        self.label = label
+        self.closed = False
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return (
+            f"<Segment #{self.id} uid={self.uid} node={self.node} "
+            f"cycles={self.cycles} {state} {self.label!r}>"
+        )
+
+
+class Trace:
+    """Recorder for segments and edges during a logical execution."""
+
+    def __init__(self):
+        self.segments = []
+        #: list of (src_segment_id, dst_segment_id, latency_cycles)
+        self.edges = []
+        self._open = {}   # uid -> Segment
+        self._last = {}   # uid -> last closed Segment
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, uid, node=0, label=""):
+        """Open the first segment for execution context ``uid``."""
+        if uid in self._open:
+            raise ValueError(f"context {uid!r} already has an open segment")
+        seg = Segment(len(self.segments), uid, node, label)
+        self.segments.append(seg)
+        self._open[uid] = seg
+        return seg
+
+    def charge(self, uid, cycles):
+        """Add ``cycles`` of work to ``uid``'s open segment."""
+        self._open[uid].cycles += cycles
+
+    def cut(self, uid, label=""):
+        """Close ``uid``'s open segment and open the next one.
+
+        Returns ``(closed, opened)``.  A program-order edge is added.
+        """
+        closed = self._open.pop(uid)
+        closed.closed = True
+        self._last[uid] = closed
+        opened = Segment(len(self.segments), uid, closed.node, label)
+        self.segments.append(opened)
+        self._open[uid] = opened
+        self.edges.append((closed.id, opened.id, 0))
+        return closed, opened
+
+    def end(self, uid):
+        """Close ``uid``'s final segment (context exits)."""
+        closed = self._open.pop(uid)
+        closed.closed = True
+        self._last[uid] = closed
+        return closed
+
+    # -- queries -------------------------------------------------------------
+
+    def current(self, uid):
+        """``uid``'s open segment (raises KeyError if none)."""
+        return self._open[uid]
+
+    def is_open(self, uid):
+        """True if ``uid`` currently has an open segment."""
+        return uid in self._open
+
+    def last_closed(self, uid):
+        """Most recently closed segment of ``uid`` (or None)."""
+        return self._last.get(uid)
+
+    def move_node(self, uid, node):
+        """Record that ``uid`` now executes on ``node`` (space migration).
+
+        Cuts the open segment so work before/after the move is scheduled
+        on the right node, and returns ``(closed, opened)``.
+        """
+        closed, opened = self.cut(uid, label="migrate")
+        opened.node = node
+        return closed, opened
+
+    def edge(self, src_seg, dst_seg, latency=0):
+        """Add a precedence edge between two segments (objects or ids)."""
+        src = src_seg.id if isinstance(src_seg, Segment) else src_seg
+        dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
+        self.edges.append((src, dst, latency))
+
+    def finish(self):
+        """Close any remaining open segments (end of simulation)."""
+        for uid in list(self._open):
+            self.end(uid)
+
+    # -- statistics ---------------------------------------------------------
+
+    def total_cycles(self):
+        """Sum of all segment durations (serial work)."""
+        return sum(seg.cycles for seg in self.segments)
+
+    def cycles_by_uid(self):
+        """Dict uid -> total cycles charged to that context."""
+        out = {}
+        for seg in self.segments:
+            out[seg.uid] = out.get(seg.uid, 0) + seg.cycles
+        return out
+
+    def __repr__(self):
+        return f"<Trace segments={len(self.segments)} edges={len(self.edges)}>"

@@ -1,0 +1,53 @@
+"""Distributed-memory baseline tests."""
+
+import pytest
+
+from repro.baseline import DistLinux
+from repro.timing.model import CostModel
+
+
+def test_tree_distribution_scales():
+    work = 200_000_000
+    times = {}
+    for n in (1, 4, 16):
+        dist = DistLinux(nnodes=n)
+        times[n] = dist.run_master_workers(
+            worker_cycles=work // n, input_bytes=2000, output_bytes=2000,
+            tree=True,
+        )
+    assert times[4] < times[1]
+    assert times[16] < times[4]
+
+
+def test_serial_circuit_slower_than_tree_at_scale():
+    work = 100_000_000
+    n = 16
+    tree = DistLinux(nnodes=n).run_master_workers(
+        worker_cycles=work // n, input_bytes=1000, output_bytes=1000,
+        tree=True,
+    )
+    circuit = DistLinux(nnodes=n).run_serial_circuit(
+        worker_cycles=work // n, input_bytes=1000, output_bytes=1000,
+    )
+    assert circuit > tree * 0.9  # circuit pays serial handshakes
+
+
+def test_data_heavy_job_dominated_by_transfer():
+    """Shipping large matrices erases the benefit of more nodes."""
+    work = 50_000_000
+    big = 4 * 1024 * 1024   # 4 MB each way
+    t2 = DistLinux(nnodes=2).run_master_workers(
+        worker_cycles=work // 2, input_bytes=big, output_bytes=big,
+    )
+    t8 = DistLinux(nnodes=8).run_master_workers(
+        worker_cycles=work // 8, input_bytes=big, output_bytes=big,
+    )
+    # Serial transfer through the master: more nodes stop helping.
+    assert t8 > 0.6 * t2
+
+
+def test_deterministic():
+    args = dict(worker_cycles=1_000_000, input_bytes=500, output_bytes=500)
+    a = DistLinux(nnodes=4).run_master_workers(**args)
+    b = DistLinux(nnodes=4).run_master_workers(**args)
+    assert a == b

@@ -1,0 +1,99 @@
+"""Tests for the common parallel API layer (both backends)."""
+
+import pytest
+
+from repro.baseline.threadsim import LinuxMachine
+from repro.bench.api import DetApi, LinuxApi
+from repro.kernel import Machine
+from repro.mem.layout import SHARED_BASE
+
+A = SHARED_BASE
+
+
+def run_det(body):
+    with Machine() as machine:
+        result = machine.run(lambda g: body(DetApi(g)))
+        assert result.trap.name in ("EXIT", "RET"), result.trap_info
+        return result.r0
+
+
+def run_linux(body):
+    machine = LinuxMachine(ncpus=4)
+    return machine.run(lambda lt: body(LinuxApi(lt))).value
+
+
+BACKENDS = [run_det, run_linux]
+
+
+@pytest.mark.parametrize("run", BACKENDS)
+def test_fork_join_collects_results_in_order(run):
+    def body(api):
+        return api.fork_join(lambda w, tid, x: tid * x, [(2,), (3,), (4,)])
+
+    assert run(body) == [0, 3, 8]
+
+
+@pytest.mark.parametrize("run", BACKENDS)
+def test_spawn_join_allows_concurrent_parent_work(run):
+    def body(api):
+        def child(w, tid, base):
+            w.store(A + 8, base + 1)
+            return "child-done"
+
+        handle = api.spawn(child, (10,))
+        api.store(A, 5)                 # parent works before joining
+        result = api.join(handle)
+        return (result, api.load(A), api.load(A + 8))
+
+    assert run(body) == ("child-done", 5, 11)
+
+
+@pytest.mark.parametrize("run", BACKENDS)
+def test_nested_spawns(run):
+    def leaf(w, tid, value):
+        return value * 2
+
+    def mid(w, tid, value):
+        handle = w.spawn(leaf, (value,))
+        own = value + 1
+        return w.join(handle) + own
+
+    def body(api):
+        handle = api.spawn(mid, (10,))
+        return api.join(handle)
+
+    assert run(body) == 31
+
+
+@pytest.mark.parametrize("run", BACKENDS)
+def test_parallel_rounds_visibility(run):
+    """Every worker sees all prior-round writes at the next round."""
+    def worker(w, tid, round_):
+        if round_ == 0:
+            w.store(A + 8 * tid, tid + 1)
+            return 0
+        return w.load(A) + w.load(A + 8)
+
+    def body(api):
+        return api.parallel_rounds(2, 2, worker)
+
+    assert run(body) == [3, 3]
+
+
+@pytest.mark.parametrize("run", BACKENDS)
+def test_memory_surface_shared_semantics(run):
+    import numpy as np
+
+    def body(api):
+        api.array_write(A + 0x100, np.arange(10, dtype=np.int64))
+        back = api.array_read(A + 0x100, np.int64, 10)
+        api.work(100)
+        api.alloc_work(100)
+        return int(back.sum())
+
+    assert run(body) == 45
+
+
+def test_kind_attribute_distinguishes_backends():
+    assert run_det(lambda api: api.kind) == "determinator"
+    assert run_linux(lambda api: api.kind) == "linux"

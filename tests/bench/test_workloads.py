@@ -1,0 +1,127 @@
+"""Workload correctness on both backends, at test-friendly sizes."""
+
+import pytest
+
+from repro.bench.harness import run_determinator, run_linux
+from repro.bench.workloads import (
+    ALL,
+    blackscholes_workload,
+    fft_workload,
+    lu_workload,
+    matmult_workload,
+    md5_workload,
+    qsort_workload,
+)
+
+SMALL = {
+    "md5": {"length": 3, "rounds": 4},
+    "matmult": {"n": 64},
+    "qsort": {"n": 1 << 12},
+    "blackscholes": {"noptions": 1 << 12, "quantum": 500_000},
+    "fft": {"n": 1 << 10},
+    "lu_cont": {"n": 64, "block": 16},
+    "lu_noncont": {"n": 64, "block": 16},
+}
+
+
+def small_params(name, nworkers):
+    """Overrides go through default_params so derived values (digest,
+    fork depth) stay consistent with the overridden sizes."""
+    mod, extra = ALL[name]
+    kwargs = dict(SMALL[name])
+    kwargs.update(extra)
+    return mod, mod.default_params(nworkers, **kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_results_identical_on_both_backends(name):
+    mod, params = small_params(name, 4)
+    det = run_determinator(mod, params)
+    lin = run_linux(mod, params, ncpus=4)
+    assert det.value == lin.value
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_determinator_run_is_repeatable(name):
+    mod, params = small_params(name, 3)
+    a = run_determinator(mod, params)
+    b = run_determinator(mod, params)
+    assert a.value == b.value
+    assert a.makespan(4) == b.makespan(4)
+
+
+def test_md5_finds_planted_password():
+    import hashlib
+    mod, params = small_params("md5", 2)
+    det = run_determinator(mod, params)
+    assert hashlib.md5(det.value.encode()).hexdigest() == params["digest"]
+
+
+def test_matmult_checksum_matches_reference():
+    mod, params = small_params("matmult", 4)
+    det = run_determinator(mod, params)
+    assert det.value == matmult_workload.expected_checksum(
+        params["n"], params["seed"]
+    )
+
+
+def test_qsort_output_sorted():
+    mod, params = small_params("qsort", 4)
+    det = run_determinator(mod, params)
+    sorted_flag, _checksum = det.value
+    assert sorted_flag
+
+
+def test_blackscholes_checksum_matches_reference():
+    mod, params = small_params("blackscholes", 4)
+    det = run_determinator(mod, params)
+    assert det.value == blackscholes_workload.expected_checksum(
+        params["noptions"], params["seed"]
+    )
+
+
+def test_fft_verified_against_numpy():
+    mod, params = small_params("fft", 4)
+    det = run_determinator(mod, params)
+    verified, _ = det.value
+    assert verified
+
+
+@pytest.mark.parametrize("contiguous", [True, False])
+def test_lu_factors_correctly(contiguous):
+    name = "lu_cont" if contiguous else "lu_noncont"
+    mod, params = small_params(name, 4)
+    det = run_determinator(mod, params)
+    verified, _ = det.value
+    assert verified
+
+
+def test_lu_noncont_costs_more_merging_than_cont():
+    _, params_c = small_params("lu_cont", 4)
+    _, params_n = small_params("lu_noncont", 4)
+    mod, _ = ALL["lu_cont"]
+    det_c = run_determinator(mod, params_c)
+    det_n = run_determinator(mod, params_n)
+    diffed_c = sum(s.pages_diffed for s in det_c.machine.merge_stats_total)
+    diffed_n = sum(s.pages_diffed for s in det_n.machine.merge_stats_total)
+    assert diffed_n >= diffed_c
+
+
+def test_fine_grained_pays_more_than_coarse():
+    """lu (fine-grained) must show a worse Linux ratio than matmult."""
+    mod_m, params_m = small_params("matmult", 4)
+    mod_l, params_l = small_params("lu_cont", 4)
+    ratio_m = (run_linux(mod_m, params_m, 4).makespan()
+               / run_determinator(mod_m, params_m).makespan(4))
+    ratio_l = (run_linux(mod_l, params_l, 4).makespan()
+               / run_determinator(mod_l, params_l).makespan(4))
+    assert ratio_l < ratio_m
+
+
+def test_md5_beats_linux_at_high_core_counts():
+    mod, _ = ALL["md5"]
+    # Fewer rounds -> more compute per fork, as at figure scale.
+    params = mod.default_params(12, length=3, rounds=2)
+    det = run_determinator(mod, params)
+    lin = run_linux(mod, params, ncpus=12)
+    assert lin.makespan() / det.makespan(12) > 1.3

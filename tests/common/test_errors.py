@@ -1,0 +1,68 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro.common.errors import (
+    BadChildError,
+    DeadlockError,
+    FileConflictError,
+    FileSystemError,
+    GuestKilled,
+    KernelError,
+    MemoryError_,
+    MergeConflictError,
+    PageFaultError,
+    PermissionFault,
+    ReproError,
+    RuntimeApiError,
+)
+
+
+def test_hierarchy_roots():
+    assert issubclass(KernelError, ReproError)
+    assert issubclass(BadChildError, KernelError)
+    assert issubclass(MemoryError_, ReproError)
+    assert issubclass(PageFaultError, MemoryError_)
+    assert issubclass(PermissionFault, MemoryError_)
+    assert issubclass(MergeConflictError, MemoryError_)
+    assert issubclass(FileSystemError, RuntimeApiError)
+    assert issubclass(FileConflictError, FileSystemError)
+    assert issubclass(DeadlockError, RuntimeApiError)
+
+
+def test_guest_killed_not_catchable_as_exception():
+    """GuestKilled must bypass ``except Exception`` in guest code."""
+    assert issubclass(GuestKilled, BaseException)
+    assert not issubclass(GuestKilled, Exception)
+
+
+def test_page_fault_formats_address():
+    err = PageFaultError(0xDEAD0000)
+    assert err.addr == 0xDEAD0000
+    assert "0xdead0000" in str(err)
+
+
+def test_permission_fault_records_need():
+    err = PermissionFault(0x1000, "write")
+    assert err.needed == "write"
+    assert "write" in str(err)
+
+
+def test_merge_conflict_records_byte():
+    err = MergeConflictError(0x1234)
+    assert err.addr == 0x1234
+    assert "conflict" in str(err)
+
+
+def test_file_conflict_records_name():
+    err = FileConflictError("a.out")
+    assert err.name == "a.out"
+    assert "a.out" in str(err)
+
+
+def test_one_catch_all():
+    """Library users can catch everything with ReproError."""
+    for exc in (KernelError("x"), PageFaultError(0), FileSystemError("y"),
+                MergeConflictError(0), DeadlockError("z")):
+        with pytest.raises(ReproError):
+            raise exc

@@ -1,0 +1,221 @@
+"""End-to-end determinism: the §6.1 experience, as executable checks.
+
+"We find that a deterministic programming model simplifies debugging ...
+since user-space bugs are always reproducible."  These tests run whole
+stacks — processes + files + threads + scheduler + cluster — several
+times and demand bit-identical results, traces, and *failures*.
+"""
+
+import pytest
+
+from repro.common.errors import MergeConflictError
+from repro.kernel import Machine, Trap, child_ref
+from repro.mem.layout import SHARED_BASE
+from repro.runtime.dsched import det_pthreads_run
+from repro.runtime.make import Make, MakeRule
+from repro.runtime.process import unix_root
+from repro.runtime.shell import Shell
+from repro.runtime.threads import ThreadGroup, barrier_arrive
+
+
+def fingerprint(machine, result):
+    """Everything observable about a run."""
+    return (
+        result.r0,
+        result.status,
+        result.trap,
+        result.console,
+        result.total_cycles(),
+        result.makespan(ncpus=4),
+        len(result.trace.segments),
+    )
+
+
+def run_many(main, times=3, **kwargs):
+    prints = []
+    for _ in range(times):
+        with Machine(**kwargs) as machine:
+            result = machine.run(main)
+            prints.append(fingerprint(machine, result))
+    assert all(p == prints[0] for p in prints), "nondeterminism detected"
+    return prints[0]
+
+
+# ---------------------------------------------------------------------------
+# Whole-stack scenarios
+# ---------------------------------------------------------------------------
+
+def test_mixed_threads_and_work_deterministic():
+    def worker(g, i):
+        g.work(137 * (i + 1))
+        g.store(SHARED_BASE + 8 * i, i * i)
+        return i
+
+    def main(g):
+        tg = ThreadGroup(g)
+        for i in range(7):
+            tg.fork(worker, (i,))
+        values = tg.join_all()
+        g.console_write(repr(values).encode())
+        return sum(values)
+
+    fp = run_many(main)
+    assert fp[0] == sum(range(7))
+
+
+def test_process_build_pipeline_deterministic():
+    def init(rt):
+        rules = [
+            MakeRule("a.o", duration=40_000),
+            MakeRule("b.o", duration=10_000),
+            MakeRule("bin", deps=("a.o", "b.o"), duration=5_000),
+        ]
+        Make(rt, rules).build("bin", jobs=2)
+        shell = Shell(rt)
+        shell.run_script("ls > listing\ncat listing")
+        return 0
+
+    fp = run_many(unix_root(init))
+    assert b"a.o" in fp[3] and b"bin" in fp[3]
+
+
+def test_legacy_scheduler_racy_program_repeatable():
+    def racer(dt, value):
+        for _ in range(5):
+            dt.g.store(SHARED_BASE, value)       # deliberate race
+            dt.g.work(999)
+        return dt.g.load(SHARED_BASE)
+
+    def main(g):
+        results = det_pthreads_run(
+            g, [(racer, (1,)), (racer, (2,))], quantum=2_500
+        )
+        return (tuple(results), g.load(SHARED_BASE))
+
+    run_many(main)
+
+
+def test_cluster_run_deterministic():
+    def worker(g, i):
+        g.work(50_000)
+        return i * 7
+
+    def main(g):
+        for i in range(4):
+            g.put(child_ref(1, node=i), regs={"entry": worker, "args": (i,)},
+                  start=True)
+        return sum(g.get(child_ref(1, node=i), regs=True)["r0"]
+                   for i in range(4))
+
+    prints = []
+    for _ in range(3):
+        with Machine(nnodes=4) as machine:
+            result = machine.run(main)
+            prints.append(
+                (result.r0, result.total_cycles(), machine.pages_fetched)
+            )
+    assert len(set(prints)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Failure injection: bugs are reproducible too
+# ---------------------------------------------------------------------------
+
+def test_injected_exception_reproducible_at_same_point():
+    def flaky(g, i):
+        g.work(100 * i)
+        if i == 3:
+            raise RuntimeError(f"injected bug in worker {i}")
+        return i
+
+    def main(g):
+        tg = ThreadGroup(g)
+        for i in range(6):
+            tg.fork(flaky, (i,))
+        outcomes = []
+        for i in range(6):
+            try:
+                outcomes.append(("ok", tg.join(i)))
+            except Exception as exc:
+                outcomes.append(("fault", str(exc)[:40]))
+        return tuple(outcomes)
+
+    fp = run_many(main)
+    outcomes = fp[0]
+    assert outcomes[3][0] == "fault"
+    assert all(kind == "ok" for kind, _ in outcomes[:3] + outcomes[4:])
+
+
+def test_injected_conflict_reproducible():
+    def writer(g, value):
+        g.store(SHARED_BASE + 0x100, value)
+
+    def main(g):
+        tg = ThreadGroup(g)
+        tg.fork(writer, (1,))
+        tg.fork(writer, (2,))
+        tg.join(0)
+        try:
+            tg.join(1)
+            return "merged"
+        except MergeConflictError as err:
+            return ("conflict", err.addr)
+
+    fp = run_many(main)
+    assert fp[0] == ("conflict", SHARED_BASE + 0x100)
+
+
+def test_fault_in_deep_process_tree_reproducible():
+    def leaf(rt):
+        raise ValueError("leaf exploded")
+
+    def mid(rt):
+        try:
+            pid = rt.fork(leaf)
+            rt.waitpid(pid)
+            return 0
+        except Exception:
+            return 13
+
+    def init(rt):
+        pid = rt.fork(mid)
+        return rt.waitpid(pid)
+
+    fp = run_many(unix_root(init))
+    assert fp[0] == 13
+
+
+def test_debug_log_reflects_true_order_consistently():
+    def child(g, i):
+        g.debug(f"child {i}")
+        return 0
+
+    def main(g):
+        for i in range(4):
+            g.put(i, regs={"entry": child, "args": (i,)}, start=True)
+        for i in range(4):
+            g.get(i)
+        return 0
+
+    logs = []
+    for _ in range(3):
+        with Machine() as machine:
+            result = machine.run(main)
+            logs.append(tuple(result.debug))
+    assert len(set(logs)) == 1
+
+
+def test_different_inputs_different_outputs_same_structure():
+    """Determinism is w.r.t. inputs: vary the input, output follows."""
+    def main(g):
+        data = g.console_read(10)
+        g.console_write(data[::-1])
+        return 0
+
+    def run_with(text):
+        with Machine(console_input=text) as machine:
+            return machine.run(main).console
+
+    assert run_with(b"abc") == b"cba"
+    assert run_with(b"xyz") == b"zyx"
+    assert run_with(b"abc") == b"cba"   # and still repeatable

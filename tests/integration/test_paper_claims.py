@@ -1,0 +1,71 @@
+"""Remaining §6.1 experience claims, as executable checks."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.runtime.process import unix_root
+from repro.runtime.shell import Shell
+
+
+def run_shell(script, programs=None):
+    def init(rt):
+        return Shell(rt).run_script(script)
+
+    with Machine(programs=programs) as m:
+        result = m.run(unix_root(init))
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def noisy(rt, tag):
+    for i in range(3):
+        rt.write_console(f"{tag}{i}\n".encode())
+    return 0
+
+
+PROGRAMS = {"noisy": noisy}
+
+
+def test_output_identical_with_and_without_redirection():
+    """§4.3: 'rerunning a parallel computation from the same inputs with
+    and without output redirection yields byte-for-byte identical console
+    and log file output.'"""
+    direct = run_shell("noisy A\nnoisy B", programs=PROGRAMS)
+
+    redirected = run_shell(
+        "noisy A > captured\nnoisy B >> captured\ncat captured",
+        programs=PROGRAMS,
+    )
+    assert direct.console == redirected.console
+
+
+def test_log_file_contents_deterministic():
+    logs = set()
+    for _ in range(3):
+        result = run_shell(
+            "noisy X > log\nnoisy Y >> log\ncat log",
+            programs=PROGRAMS,
+        )
+        logs.add(result.console)
+    assert logs == {b"X0\nX1\nX2\nY0\nY1\nY2\n"}
+
+
+def test_cli_module_lists_artifacts():
+    from repro.bench.__main__ import ARTIFACTS, main
+    expected = {"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                "table3"}
+    assert expected == set(ARTIFACTS)
+    assert main(["--list"]) == 0
+
+
+def test_cli_module_runs_cheap_artifacts(capsys):
+    from repro.bench.__main__ import main
+    assert main(["fig4", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out and "Table 3" in out
+
+
+def test_cli_rejects_unknown_artifact():
+    from repro.bench.__main__ import main
+    with pytest.raises(SystemExit):
+        main(["figNaN"])

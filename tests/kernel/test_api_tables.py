@@ -1,0 +1,94 @@
+"""Conformance against the paper's Tables 1 and 2.
+
+Table 1: the API is exactly three calls — Put, Get, Ret.
+Table 2: which options each call accepts:
+
+    option   Put  Get
+    Regs      X    X
+    Copy      X    X
+    Zero      X    X
+    Snap      X
+    Start     X
+    Merge          X
+    Perm      X    X
+    Tree      X    X
+"""
+
+import inspect
+
+import pytest
+
+from repro.kernel.guest import Guest
+from repro.kernel.kernel import Kernel
+
+
+def _params(fn):
+    return set(inspect.signature(fn).parameters)
+
+
+def test_exactly_three_system_calls():
+    syscalls = [name for name in dir(Kernel) if name.startswith("sys_")]
+    assert sorted(syscalls) == ["sys_get", "sys_put", "sys_ret"]
+
+
+def test_put_options_match_table2():
+    params = _params(Kernel.sys_put)
+    for option in ("regs", "copy", "zero", "snap", "start", "perm", "tree"):
+        assert option in params, f"Put lacks {option}"
+    assert "merge" not in params, "Merge is Get-only (Table 2)"
+    # Instruction limits ride on Start (paper §3.2).
+    assert "limit" in params
+
+
+def test_get_options_match_table2():
+    params = _params(Kernel.sys_get)
+    for option in ("regs", "copy", "zero", "merge", "perm", "tree"):
+        assert option in params, f"Get lacks {option}"
+    assert "snap" not in params, "Snap is Put-only (Table 2)"
+    assert "start" not in params, "Start is Put-only (Table 2)"
+
+
+def test_ret_takes_no_options():
+    params = _params(Kernel.sys_ret) - {"self", "space"}
+    assert params == set(), "Ret carries no options (Table 1)"
+
+
+def test_guest_surface_exposes_only_the_three_calls():
+    syscall_like = {
+        name for name in dir(Guest)
+        if not name.startswith("_")
+        and name in ("put", "get", "ret", "fork", "exec", "wait", "spawn")
+    }
+    assert syscall_like == {"put", "get", "ret"}
+
+
+def test_options_combine_in_one_call():
+    """'Most options can be combined: e.g., in one Put call a space can
+    initialize a child's registers, copy memory, set permissions, save a
+    snapshot, and start the child executing' (§3.2)."""
+    from repro.kernel import Machine
+    from repro.mem import PAGE_SIZE, PERM_RW
+
+    A = 0x10_0000
+
+    def child(g):
+        g.store(A + 8, 2)
+
+    def main(g):
+        g.store(A, 1)
+        g.put(
+            1,
+            regs={"entry": child},
+            copy=(A, PAGE_SIZE),
+            zero=(A + 0x1000, PAGE_SIZE),
+            perm=(A, PAGE_SIZE, PERM_RW),
+            snap=(A, PAGE_SIZE),
+            start=True,
+            limit=10**9,
+        )
+        g.get(1, regs=True, merge=True)
+        return (g.load(A), g.load(A + 8))
+
+    with Machine() as m:
+        result = m.run(main)
+    assert result.r0 == (1, 2)

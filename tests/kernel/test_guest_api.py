@@ -1,0 +1,153 @@
+"""Guest API unit tests: typed memory access, arrays, charging."""
+
+import numpy as np
+import pytest
+
+from repro.kernel import Machine, Trap
+
+A = 0x20_0000
+
+
+def run(main, **kwargs):
+    with Machine(**kwargs) as m:
+        result = m.run(main)
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_load_store_sizes():
+    def main(g):
+        g.store(A, 0x1234, size=2)
+        g.store(A + 8, 0xDEADBEEF, size=4)
+        g.store(A + 16, 1 << 60, size=8)
+        return (g.load(A, 2), g.load(A + 8, 4), g.load(A + 16, 8))
+
+    assert run(main).r0 == (0x1234, 0xDEADBEEF, 1 << 60)
+
+
+def test_store_negative_signed_roundtrip():
+    def main(g):
+        g.store(A, -12345, size=8)
+        return g.load(A, 8, signed=True)
+
+    assert run(main).r0 == -12345
+
+
+def test_float64_roundtrip():
+    def main(g):
+        g.store_f64(A, 3.14159)
+        return g.load_f64(A)
+
+    assert run(main).r0 == pytest.approx(3.14159)
+
+
+def test_array_read_write_roundtrip():
+    def main(g):
+        data = np.arange(100, dtype=np.int64)
+        g.array_write(A, data)
+        back = g.array_read(A, np.int64, 100)
+        return bool((back == data).all())
+
+    assert run(main).r0 is True
+
+
+def test_array_read_returns_private_copy():
+    def main(g):
+        g.array_write(A, np.zeros(8, dtype=np.int64))
+        arr = g.array_read(A, np.int64, 8)
+        arr[0] = 99                      # must not touch simulated memory
+        return g.load(A, 8)
+
+    assert run(main).r0 == 0
+
+
+def test_mapped_context_manager_writes_back():
+    def main(g):
+        g.array_write(A, np.arange(16, dtype=np.int32))
+        with g.mapped(A, np.int32, 16) as arr:
+            arr *= 2
+        return int(g.array_read(A, np.int32, 16).sum())
+
+    assert run(main).r0 == 2 * sum(range(16))
+
+
+def test_view_is_zero_copy():
+    def main(g):
+        g.write(A, bytes(range(64)))
+        view = g.view(A, 64, np.uint8, write=True)
+        view[0] = 0xAB
+        return g.read(A, 1)
+
+    assert run(main).r0 == b"\xab"
+
+
+def test_zero_range_clears_own_memory():
+    def main(g):
+        g.write(A, b"junk-data" * 100)
+        g.zero_range(A & ~0xFFF, 0x1000)
+        return g.read(A, 9)
+
+    assert run(main).r0 == bytes(9)
+
+
+def test_work_and_alloc_work_charge_equally_on_determinator():
+    def main_work(g):
+        g.work(100_000)
+
+    def main_alloc(g):
+        g.alloc_work(100_000)
+
+    with Machine() as m1:
+        t1 = m1.run(main_work).total_cycles()
+    with Machine() as m2:
+        t2 = m2.run(main_alloc).total_cycles()
+    assert t1 == t2
+
+
+def test_memory_ops_charge_cycles():
+    def main(g):
+        g.write(A, b"x" * 4096)
+        g.read(A, 4096)
+
+    result = run(main)
+    assert result.total_cycles() > 2 * (4096 >> 4)
+
+
+def test_reg_read_write():
+    def main(g):
+        g.set_reg("r3", 777)
+        return g.reg("r3")
+
+    assert run(main).r0 == 777
+
+
+def test_unknown_register_rejected():
+    def main(g):
+        try:
+            g.set_reg("r99", 1)
+        except Exception as exc:
+            return type(exc).__name__
+
+    assert run(main).r0 == "KernelError"
+
+
+def test_console_write_accepts_str_and_bytes():
+    def main(g):
+        g.console_write("text ")
+        g.console_write(b"bytes")
+
+    assert run(main).console == b"text bytes"
+
+
+def test_reads_see_only_causally_prior_writes():
+    """The model's core read guarantee, at the raw API level."""
+    def child(g):
+        return g.load(A, 8)
+
+    def main(g):
+        g.store(A, 1)
+        g.put(1, regs={"entry": child}, copy=(A & ~0xFFF, 0x1000), start=True)
+        g.store(A, 2)           # after the fork: child must not see it
+        return g.get(1, regs=True)["r0"]
+
+    assert run(main).r0 == 1

@@ -1,0 +1,112 @@
+"""Instruction-limit tests: deterministic preemption (§3.2)."""
+
+import pytest
+
+from repro.kernel import Machine, Trap
+
+
+def run(main, **kwargs):
+    with Machine(**kwargs) as m:
+        result = m.run(main)
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def _spinner(g, iters):
+    done = 0
+    for _ in range(iters):
+        g.work(1000)
+        done += 1
+    g.set_reg("r2", done)
+    return done
+
+
+def test_limit_preempts_child():
+    def main(g):
+        g.put(1, regs={"entry": _spinner, "args": (100,)}, start=True,
+              limit=5_000)
+        return g.get(1, regs=True)["trap"]
+
+    assert run(main).r0 is Trap.INSN_LIMIT
+
+
+def test_resume_after_limit_continues_where_preempted():
+    def main(g):
+        g.put(1, regs={"entry": _spinner, "args": (10,)}, start=True,
+              limit=3_500)
+        resumes = 0
+        while True:
+            view = g.get(1, regs=True)
+            if view["trap"] is Trap.EXIT:
+                return (view["r0"], resumes)
+            assert view["trap"] is Trap.INSN_LIMIT
+            resumes += 1
+            g.put(1, start=True, limit=3_500)
+
+    value, resumes = run(main).r0
+    assert value == 10          # completed all iterations across quanta
+    assert resumes >= 2
+
+
+def test_quantization_is_deterministic():
+    def main(g):
+        g.put(1, regs={"entry": _spinner, "args": (50,)}, start=True,
+              limit=7_777)
+        g.get(1, regs=True)
+        return g.get(1, regs=True)["r2"]
+
+    values = {run(main).r0 for _ in range(3)}
+    assert len(values) == 1
+
+
+def test_unlimited_start_clears_previous_limit():
+    def main(g):
+        g.put(1, regs={"entry": _spinner, "args": (20,)}, start=True,
+              limit=2_000)
+        view = g.get(1, regs=True)
+        assert view["trap"] is Trap.INSN_LIMIT
+        g.put(1, start=True)           # no limit: run to completion
+        return g.get(1, regs=True)["trap"]
+
+    assert run(main).r0 is Trap.EXIT
+
+
+def test_limit_exempts_kernel_work():
+    """Kernel charges (syscalls, COW) don't count against the budget."""
+    def child(g):
+        # One syscall-heavy but compute-light body.
+        for i in range(5):
+            g.put(i, zero=(0x10_0000, 0x1000))
+        return "survived"
+
+    def main(g):
+        g.put(1, regs={"entry": child}, start=True, limit=10_000)
+        return g.get(1, regs=True)["r0"]
+
+    assert run(main).r0 == "survived"
+
+
+def test_limit_resume_charged_to_parent():
+    from repro.timing.model import CostModel
+    cost = CostModel()
+
+    def main(g):
+        g.put(1, regs={"entry": _spinner, "args": (30,)}, start=True,
+              limit=2_000)
+        while g.get(1, regs=True)["trap"] is Trap.INSN_LIMIT:
+            g.put(1, start=True, limit=2_000)
+        return 0
+
+    result = run(main)
+    # Many resume cycles must appear in total time.
+    assert result.total_cycles() > 10 * cost.limit_resume
+
+
+def test_root_instruction_limit():
+    def main(g):
+        g.work(10**9)
+        return "never"
+
+    with Machine() as m:
+        result = m.run(main, limit=50_000)
+    assert result.trap is Trap.INSN_LIMIT

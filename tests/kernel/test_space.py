@@ -1,0 +1,109 @@
+"""Space hierarchy unit tests."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.kernel import Machine, Trap
+from repro.kernel.space import Space, SpaceState, fresh_regs
+from repro.kernel.traps import Trap as TrapEnum
+
+
+def test_fresh_regs_layout():
+    regs = fresh_regs()
+    assert regs["entry"] is None
+    assert regs["args"] == ()
+    for name in ("r0", "r1", "r7", "status"):
+        assert regs[name] == 0
+
+
+def test_trap_is_fault_classification():
+    assert TrapEnum.EXC.is_fault()
+    assert TrapEnum.PAGE_FAULT.is_fault()
+    assert TrapEnum.PERM_FAULT.is_fault()
+    assert TrapEnum.CONFLICT.is_fault()
+    assert not TrapEnum.RET.is_fault()
+    assert not TrapEnum.EXIT.is_fault()
+    assert not TrapEnum.INSN_LIMIT.is_fault()
+
+
+def test_hierarchy_depth_and_walk():
+    def leaf(g):
+        return 0
+
+    def mid(g):
+        g.put(1, regs={"entry": leaf}, start=True)
+        g.put(2, regs={"entry": leaf}, start=True)
+        g.get(1)
+        g.get(2)
+        depths = [s.depth() for s in g.space.walk()]
+        return (g.space.depth(), sorted(depths))
+
+    def main(g):
+        g.put(5, regs={"entry": mid}, start=True)
+        return g.get(5, regs=True)["r0"]
+
+    with Machine() as m:
+        result = m.run(main)
+    assert result.r0 == (1, [1, 2, 2])
+
+
+def test_set_regs_validates_names():
+    machine = Machine()
+    space = machine.new_space(None)
+    with pytest.raises(KernelError):
+        space.set_regs({"bogus": 1})
+    space.set_regs({"r0": 5})
+    assert space.regs["r0"] == 5
+    machine.close()
+
+
+def test_reg_view_includes_trap_metadata():
+    machine = Machine()
+    space = machine.new_space(None)
+    space.trap = TrapEnum.EXC
+    space.trap_info = "oops"
+    view = space.reg_view()
+    assert view["trap"] is TrapEnum.EXC
+    assert view["trap_info"] == "oops"
+    # The view is a copy.
+    view["r0"] = 99
+    assert space.regs["r0"] == 0
+    machine.close()
+
+
+def test_destroy_unlinks_from_parent_and_releases_memory():
+    def child(g):
+        g.write(0x10_0000, b"data")
+        g.ret()
+
+    def main(g):
+        g.put(1, regs={"entry": child}, start=True)
+        g.get(1)
+        target = g.space.children[1]
+        target.destroy()
+        return (1 in g.space.children, target.addrspace.mapped_page_count())
+
+    with Machine() as m:
+        result = m.run(main)
+    assert result.r0 == (False, 0)
+
+
+def test_is_stopped_states():
+    machine = Machine()
+    space = machine.new_space(None)
+    assert space.is_stopped()          # IDLE
+    space.state = SpaceState.READY
+    assert not space.is_stopped()
+    space.state = SpaceState.STOPPED
+    assert space.is_stopped()
+    space.state = SpaceState.EXITED
+    assert space.is_stopped()
+    machine.close()
+
+
+def test_repr_is_informative():
+    machine = Machine()
+    space = machine.new_space(None)
+    text = repr(space)
+    assert "idle" in text and space.uid in text
+    machine.close()

@@ -1,0 +1,153 @@
+"""Unit tests for copy-on-write address spaces."""
+
+import pytest
+
+from repro.common.errors import PageFaultError, PermissionFault
+from repro.mem import (
+    AddressSpace,
+    PAGE_SIZE,
+    PERM_NONE,
+    PERM_R,
+    PERM_RW,
+    VA_SIZE,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def test_read_unmapped_returns_zeros(space):
+    assert space.read(0x1000, 16) == bytes(16)
+    assert space.mapped_page_count() == 0
+
+
+def test_write_then_read_roundtrip(space):
+    space.write(0x2000, b"hello world")
+    assert space.read(0x2000, 11) == b"hello world"
+
+
+def test_write_spanning_pages(space):
+    addr = 0x3000 + PAGE_SIZE - 4
+    space.write(addr, b"abcdefgh")
+    assert space.read(addr, 8) == b"abcdefgh"
+    assert space.mapped_page_count() == 2
+
+
+def test_write_counts_demand_zero_events(space):
+    events = space.write(0x1000, b"x" * (2 * PAGE_SIZE))
+    assert events == 2
+    assert space.counters.demand_zero == 2
+
+
+def test_out_of_range_access_rejected(space):
+    with pytest.raises(PageFaultError):
+        space.read(VA_SIZE - 4, 8)
+    with pytest.raises(PageFaultError):
+        space.write(VA_SIZE, b"x")
+
+
+def test_copy_range_shares_frames_cow(space):
+    src = AddressSpace()
+    src.write(0x1000, b"shared-data")
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE)
+    assert space.frame(1) is src.frame(1)
+    assert space.frame(1).refs == 2
+    assert space.read(0x1000, 11) == b"shared-data"
+
+
+def test_cow_break_on_write_after_copy(space):
+    src = AddressSpace()
+    src.write(0x1000, b"original")
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE)
+    space.write(0x1000, b"modified")
+    assert src.read(0x1000, 8) == b"original"
+    assert space.read(0x1000, 8) == b"modified"
+    assert space.counters.cow_breaks == 1
+    assert src.frame(1).refs == 1
+
+
+def test_copy_range_to_different_destination(space):
+    src = AddressSpace()
+    src.write(0, b"page-zero")
+    space.copy_range_from(src, 0, 0x5000, PAGE_SIZE)
+    assert space.read(0x5000, 9) == b"page-zero"
+
+
+def test_copy_range_unmapped_source_unmaps_destination(space):
+    src = AddressSpace()
+    space.write(0x1000, b"stale")
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE)
+    assert space.read(0x1000, 5) == bytes(5)
+    assert space.mapped_page_count() == 0
+
+
+def test_copy_range_requires_alignment(space):
+    src = AddressSpace()
+    with pytest.raises(ValueError):
+        space.copy_range_from(src, 0x10, 0x1000, PAGE_SIZE)
+    with pytest.raises(ValueError):
+        space.copy_range_from(src, 0x1000, 0x1000, 100)
+
+
+def test_zero_range_clears(space):
+    space.write(0x1000, b"junk")
+    space.zero_range(0x1000, PAGE_SIZE)
+    assert space.read(0x1000, 4) == bytes(4)
+    assert space.mapped_page_count() == 0
+
+
+def test_permission_fault_on_read(space):
+    space.write(0x1000, b"secret")
+    space.set_perm(0x1000, PAGE_SIZE, PERM_NONE)
+    with pytest.raises(PermissionFault):
+        space.read(0x1000, 6, check_perm=True)
+
+
+def test_permission_fault_on_write_to_readonly(space):
+    space.write(0x1000, b"ro")
+    space.set_perm(0x1000, PAGE_SIZE, PERM_R)
+    with pytest.raises(PermissionFault):
+        space.write(0x1000, b"xx", check_perm=True)
+    # Reads still work.
+    assert space.read(0x1000, 2, check_perm=True) == b"ro"
+
+
+def test_perm_not_checked_without_flag(space):
+    space.write(0x1000, b"data")
+    space.set_perm(0x1000, PAGE_SIZE, PERM_NONE)
+    assert space.read(0x1000, 4) == b"data"
+
+
+def test_clone_is_cow(space):
+    space.write(0x1000, b"base")
+    twin = space.clone()
+    twin.write(0x1000, b"diff")
+    assert space.read(0x1000, 4) == b"base"
+    assert twin.read(0x1000, 4) == b"diff"
+
+
+def test_drop_all_releases_references(space):
+    src = AddressSpace()
+    src.write(0x1000, b"x")
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE)
+    assert src.frame(1).refs == 2
+    space.drop_all()
+    assert src.frame(1).refs == 1
+    assert space.mapped_page_count() == 0
+
+
+def test_as_array_single_page_view_writable(space):
+    space.write(0x1000, bytes(range(16)))
+    arr = space.as_array(0x1000, 16, writable=True)
+    arr[0] = 0xEE
+    assert space.read(0x1000, 1) == b"\xee"
+
+
+def test_as_array_multi_page_readonly_copy(space):
+    space.write(0x1000, b"a" * (2 * PAGE_SIZE))
+    arr = space.as_array(0x1000, 2 * PAGE_SIZE)
+    assert len(arr) == 2 * PAGE_SIZE
+    with pytest.raises(ValueError):
+        space.as_array(0x1800, PAGE_SIZE, writable=True)

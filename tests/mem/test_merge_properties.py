@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the merge invariants.
+
+These encode the semantic guarantees of the private workspace model
+(paper §2.2):
+
+* reads see only causally-prior writes: a merge never invents bytes that
+  neither side wrote;
+* disjoint write sets always merge cleanly and commutatively;
+* overlapping write sets always raise a conflict, independent of order.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.common.errors import MergeConflictError
+from repro.mem import AddressSpace, PAGE_SIZE, Snapshot, merge_range
+
+BASE = 0x4000
+SPAN = 2 * PAGE_SIZE
+
+offsets = st.integers(min_value=0, max_value=SPAN - 1)
+values = st.integers(min_value=1, max_value=255)
+write_sets = st.dictionaries(offsets, values, max_size=24)
+
+
+def build(parent_writes, child_writes):
+    parent = AddressSpace()
+    parent.write(BASE, bytes(SPAN))
+    child = AddressSpace()
+    child.copy_range_from(parent, BASE, BASE, SPAN)
+    snap = Snapshot.capture(child, BASE, SPAN)
+    for off, val in parent_writes.items():
+        parent.write(BASE + off, bytes([val]))
+    for off, val in child_writes.items():
+        child.write(BASE + off, bytes([val]))
+    return parent, child, snap
+
+
+@given(parent_writes=write_sets, child_writes=write_sets)
+@settings(max_examples=120, deadline=None)
+def test_disjoint_writes_merge_to_union(parent_writes, child_writes):
+    child_writes = {
+        off: val for off, val in child_writes.items() if off not in parent_writes
+    }
+    parent, child, snap = build(parent_writes, child_writes)
+    merge_range(parent, child, snap)
+    result = parent.read(BASE, SPAN)
+    expected = bytearray(SPAN)
+    for off, val in parent_writes.items():
+        expected[off] = val
+    for off, val in child_writes.items():
+        expected[off] = val
+    assert result == bytes(expected)
+
+
+@given(parent_writes=write_sets, child_writes=write_sets)
+@settings(max_examples=120, deadline=None)
+def test_overlap_always_conflicts_in_strict_mode(parent_writes, child_writes):
+    overlap = set(parent_writes) & set(child_writes)
+    parent, child, snap = build(parent_writes, child_writes)
+    if overlap:
+        with pytest.raises(MergeConflictError):
+            merge_range(parent, child, snap, mode="strict")
+    else:
+        merge_range(parent, child, snap, mode="strict")
+
+
+@given(writes_a=write_sets, writes_b=write_sets)
+@settings(max_examples=80, deadline=None)
+def test_sibling_merge_order_independent_when_disjoint(writes_a, writes_b):
+    """Merging disjoint siblings in either order gives identical memory."""
+    writes_b = {off: val for off, val in writes_b.items() if off not in writes_a}
+
+    def run(order):
+        parent = AddressSpace()
+        parent.write(BASE, bytes(SPAN))
+        sibs = []
+        for writes in (writes_a, writes_b):
+            child = AddressSpace()
+            child.copy_range_from(parent, BASE, BASE, SPAN)
+            snap = Snapshot.capture(child, BASE, SPAN)
+            for off, val in writes.items():
+                child.write(BASE + off, bytes([val]))
+            sibs.append((child, snap))
+        for idx in order:
+            merge_range(parent, sibs[idx][0], sibs[idx][1])
+        return parent.read(BASE, SPAN)
+
+    assert run([0, 1]) == run([1, 0])
+
+
+@given(child_writes=write_sets)
+@settings(max_examples=80, deadline=None)
+def test_merge_is_idempotent_for_clean_child(child_writes):
+    """Merging the same child twice does not conflict or change bytes.
+
+    After the first merge the parent's bytes equal the child's bytes at
+    every child-written offset, and strict mode compares against the same
+    snapshot — so a second merge must raise (both sides now differ from
+    the snapshot at those bytes) unless the write set is empty.  This
+    pins down the 'changed in both' definition.
+    """
+    parent, child, snap = build({}, child_writes)
+    merge_range(parent, child, snap)
+    first = parent.read(BASE, SPAN)
+    if child_writes:
+        with pytest.raises(MergeConflictError):
+            merge_range(parent, child, snap, mode="strict")
+        # Lenient mode tolerates the identical values.
+        merge_range(parent, child, snap, mode="lenient")
+    else:
+        merge_range(parent, child, snap, mode="strict")
+    assert parent.read(BASE, SPAN) == first

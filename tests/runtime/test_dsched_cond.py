@@ -1,0 +1,159 @@
+"""Condition-variable tests for the deterministic scheduler (§4.5)."""
+
+import pytest
+
+from repro.common.errors import DeadlockError
+from repro.kernel import Machine
+from repro.mem.layout import SHARED_BASE
+from repro.runtime.dsched import DetScheduler, det_pthreads_run
+
+COUNT = SHARED_BASE + 0x2000      # items produced so far
+DATA = SHARED_BASE + 0x2100       # the "queue" (slots)
+DONE = SHARED_BASE + 0x2200       # producer-finished flag
+
+MUTEX = 0
+COND = 0
+
+
+def in_guest(fn):
+    with Machine() as m:
+        result = m.run(fn)
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_producer_consumer_handoff():
+    """Consumer waits on a condition until the producer signals."""
+    def producer(dt):
+        dt.g.work(5_000)
+        dt.mutex_lock(MUTEX)
+        dt.g.store(DATA, 4242)
+        dt.g.store(COUNT, 1)
+        dt.cond_signal(COND)
+        dt.mutex_unlock(MUTEX)
+        return 0
+
+    def consumer(dt):
+        dt.mutex_lock(MUTEX)
+        while dt.g.load(COUNT) == 0:
+            dt.cond_wait(COND, MUTEX)
+        value = dt.g.load(DATA)
+        dt.mutex_unlock(MUTEX)
+        return value
+
+    def main(g):
+        g.store(COUNT, 0)
+        results = det_pthreads_run(
+            g, [(consumer, ()), (producer, ())], quantum=50_000
+        )
+        return results[0]
+
+    assert in_guest(main).r0 == 4242
+
+
+def test_broadcast_wakes_all_waiters():
+    NWAITERS = 3
+
+    def waiter(dt, i):
+        dt.mutex_lock(MUTEX)
+        while dt.g.load(DONE) == 0:
+            dt.cond_wait(COND, MUTEX)
+        dt.mutex_unlock(MUTEX)
+        return i * 10
+
+    def broadcaster(dt):
+        dt.g.work(10_000)
+        dt.mutex_lock(MUTEX)
+        dt.g.store(DONE, 1)
+        dt.cond_broadcast(COND)
+        dt.mutex_unlock(MUTEX)
+        return -1
+
+    def main(g):
+        g.store(DONE, 0)
+        workers = [(waiter, (i,)) for i in range(NWAITERS)]
+        workers.append((broadcaster, ()))
+        return det_pthreads_run(g, workers, quantum=50_000)
+
+    assert in_guest(main).r0 == [0, 10, 20, -1]
+
+
+def test_signal_wakes_exactly_one():
+    """With one signal and two waiters, the second waiter deadlocks —
+    the scheduler reports it rather than hanging."""
+    def waiter(dt, i):
+        dt.mutex_lock(MUTEX)
+        while dt.g.load(DONE) == 0 or True:   # waits forever after wake check
+            dt.cond_wait(COND, MUTEX)
+        return i
+
+    def one_signal(dt):
+        dt.g.work(5_000)
+        dt.mutex_lock(MUTEX)
+        dt.cond_signal(COND)
+        dt.mutex_unlock(MUTEX)
+        return 0
+
+    def main(g):
+        try:
+            det_pthreads_run(
+                g, [(waiter, (0,)), (waiter, (1,)), (one_signal, ())],
+                quantum=50_000,
+            )
+        except DeadlockError:
+            return "one-woken-then-deadlock"
+
+    assert in_guest(main).r0 == "one-woken-then-deadlock"
+
+
+def test_cond_results_repeatable():
+    def worker(dt, i):
+        for _ in range(3):
+            dt.mutex_lock(MUTEX)
+            dt.g.store(COUNT, dt.g.load(COUNT) + 1)
+            dt.cond_signal(COND)
+            dt.mutex_unlock(MUTEX)
+            dt.g.work(1_000 * (i + 1))
+        return dt.g.load(COUNT)
+
+    def main(g):
+        g.store(COUNT, 0)
+        results = det_pthreads_run(
+            g, [(worker, (0,)), (worker, (1,))], quantum=10_000
+        )
+        return (tuple(results), g.load(COUNT))
+
+    runs = {in_guest(main).r0 for _ in range(3)}
+    assert len(runs) == 1
+    assert runs.pop()[1] == 6
+
+
+def test_cond_wait_reacquires_mutex():
+    """After cond_wait returns, the waiter owns and holds the mutex."""
+    def consumer(dt):
+        dt.mutex_lock(MUTEX)
+        while dt.g.load(COUNT) == 0:
+            dt.cond_wait(COND, MUTEX)
+        # We hold the mutex here: mutate protected state safely.
+        dt.g.store(DATA, dt.g.load(DATA) + 1)
+        dt.mutex_unlock(MUTEX)
+        return 0
+
+    def producer(dt):
+        dt.mutex_lock(MUTEX)
+        dt.g.store(DATA, 100)
+        dt.g.store(COUNT, 1)
+        dt.cond_broadcast(COND)
+        dt.mutex_unlock(MUTEX)
+        return 0
+
+    def main(g):
+        g.store(COUNT, 0)
+        det_pthreads_run(
+            g,
+            [(consumer, ()), (consumer, ()), (producer, ())],
+            quantum=50_000,
+        )
+        return g.load(DATA)
+
+    assert in_guest(main).r0 == 102

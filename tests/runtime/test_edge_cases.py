@@ -1,0 +1,165 @@
+"""Edge-case coverage across the user-level runtime."""
+
+import pytest
+
+from repro.kernel import Machine, Trap
+from repro.mem.layout import SHARED_BASE
+from repro.runtime.dsched import DetScheduler
+from repro.runtime.make import Make, MakeRule
+from repro.runtime.process import ProcessRuntime, unix_root
+from repro.runtime.threads import ThreadGroup
+
+A = SHARED_BASE + 0x3000
+
+
+def run_unix(init, **kwargs):
+    with Machine(**kwargs) as m:
+        result = m.run(unix_root(init))
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_fd_positions_survive_exec():
+    """exec carries the file-descriptor table over (§4.1)."""
+    def after(rt):
+        # fd opened before exec is still open at the same position.
+        return rt.fs.read(5, 3)
+
+    def before(rt):
+        rt.fs.write_file("f", b"abcdef")
+        fd = rt.fs.open("f", 1)      # O_RDONLY
+        while fd != 5:               # park it at a known number
+            fd = rt.fs.open("f", 1)
+        rt.fs.seek(5, 2)
+        rt.exec("after")
+
+    def init(rt):
+        pid = rt.fork(before)
+        return rt.waitpid(pid)
+
+    assert run_unix(init, programs={"after": after}).r0 == b"cde"
+
+
+def test_make_diamond_dependency():
+    def init(rt):
+        rules = [
+            MakeRule("base", duration=1000),
+            MakeRule("left", deps=("base",), duration=1000),
+            MakeRule("right", deps=("base",), duration=1000),
+            MakeRule("top", deps=("left", "right"), duration=1000),
+        ]
+        return Make(rt, rules).build("top")
+
+    order = run_unix(init).r0
+    assert order[0] == "base"
+    assert order[-1] == "top"
+    assert set(order[1:3]) == {"left", "right"}
+
+
+def test_make_rebuild_is_idempotent():
+    def init(rt):
+        rules = [MakeRule("thing", duration=100)]
+        Make(rt, rules).build()
+        Make(rt, rules).build()        # second build forks a fresh task
+        return rt.fs.read_file("thing")
+
+    assert run_unix(init).r0 == b"built thing"
+
+
+def test_dsched_preemption_mid_critical_section_is_safe():
+    """A thread preempted while *holding* a mutex keeps it until its own
+    unlock; the waiter only gets ownership after that (steal rule)."""
+    def holder(dt):
+        dt.mutex_lock(0)
+        for _ in range(20):
+            dt.g.work(1000)            # quantum expires in here
+        value = dt.g.load(A)
+        dt.g.store(A, value + 1)
+        dt.mutex_unlock(0)
+        return 0
+
+    def waiter(dt):
+        dt.mutex_lock(0)
+        value = dt.g.load(A)
+        dt.g.store(A, value + 100)
+        dt.mutex_unlock(0)
+        return 0
+
+    def main(g):
+        g.store(A, 0)
+        sched = DetScheduler(g, quantum=5_000)
+        sched.spawn(holder, ())
+        sched.spawn(waiter, ())
+        sched.run()
+        return g.load(A)
+
+    with Machine() as m:
+        result = m.run(main)
+    assert result.r0 == 101
+
+
+def test_thread_group_interleaved_fork_join():
+    def worker(g, i):
+        g.store(A + 8 * i, i)
+        return i
+
+    def main(g):
+        tg = ThreadGroup(g)
+        first = tg.fork(worker, (0,))
+        second = tg.fork(worker, (1,))
+        a = tg.join(first)
+        third = tg.fork(worker, (2,))   # fork after a join
+        b = tg.join(second)
+        c = tg.join(third)
+        return (a, b, c)
+
+    with Machine() as m:
+        assert m.run(main).r0 == (0, 1, 2)
+
+
+def test_waitpid_raises_on_faulted_child():
+    def bad(rt):
+        raise ValueError("child bug")
+
+    def init(rt):
+        pid = rt.fork(bad)
+        try:
+            rt.waitpid(pid)
+        except Exception as exc:
+            return type(exc).__name__
+
+    assert run_unix(init).r0 == "RuntimeApiError"
+
+
+def test_deep_fork_chain():
+    DEPTH = 8
+
+    def chain(rt, remaining):
+        if remaining == 0:
+            return 1
+        pid = rt.fork(chain, remaining - 1)
+        return rt.waitpid(pid) + 1
+
+    def init(rt):
+        pid = rt.fork(chain, DEPTH)
+        return rt.waitpid(pid)
+
+    assert run_unix(init).r0 == DEPTH + 1
+
+
+def test_console_interleaved_with_files():
+    def child(rt, i):
+        rt.fs.write_file(f"out{i}", f"file{i}".encode())
+        rt.write_console(f"console{i};".encode())
+        return 0
+
+    def init(rt):
+        pids = [rt.fork(child, i) for i in range(3)]
+        for pid in pids:
+            rt.waitpid(pid)
+        files = b"".join(rt.fs.read_file(f"out{i}") for i in range(3))
+        rt.write_console(files)
+        return 0
+
+    result = run_unix(init)
+    assert result.console == b"console0;console1;console2;file0file1file2"

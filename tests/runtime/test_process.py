@@ -1,0 +1,243 @@
+"""Process runtime tests: fork/exec/wait, console I/O, PID namespaces."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.runtime.process import ProcessRuntime, unix_root
+
+
+def run_unix(init, console_input=b"", programs=None):
+    with Machine(console_input=console_input, programs=programs) as m:
+        result = m.run(unix_root(init))
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_fork_wait_exit_status():
+    def child(rt):
+        return 17
+
+    def init(rt):
+        pid = rt.fork(child)
+        return rt.waitpid(pid)
+
+    assert run_unix(init).r0 == 17
+
+
+def test_fork_child_sees_parent_files():
+    def child(rt):
+        return 1 if rt.fs.read_file("input.txt") == b"data" else 0
+
+    def init(rt):
+        rt.fs.write_file("input.txt", b"data")
+        pid = rt.fork(child)
+        return rt.waitpid(pid)
+
+    assert run_unix(init).r0 == 1
+
+
+def test_child_output_files_merge_at_wait():
+    def compiler(rt, name):
+        rt.fs.write_file(name, f"object:{name}".encode())
+        return 0
+
+    def init(rt):
+        pids = [rt.fork(compiler, f"unit{i}.o") for i in range(4)]
+        for pid in pids:
+            rt.waitpid(pid)
+        return [rt.fs.read_file(f"unit{i}.o") for i in range(4)]
+
+    outputs = run_unix(init).r0
+    assert outputs == [f"object:unit{i}.o".encode() for i in range(4)]
+
+
+def test_sibling_conflict_flags_file():
+    def writer(rt, value):
+        rt.fs.write_file("shared.out", value)
+        return 0
+
+    def init(rt):
+        rt.fs.write_file("shared.out", b"base")
+        a = rt.fork(writer, b"from-a")
+        b = rt.fork(writer, b"from-b")
+        rt.waitpid(a)
+        rt.waitpid(b)
+        from repro.runtime.fs import F_CONFLICT
+        return bool(rt.fs.stat("shared.out")["flags"] & F_CONFLICT)
+
+    assert run_unix(init).r0 is True
+
+
+def test_pids_are_process_local():
+    """Child PIDs restart from 1: namespaces are private (§4.1/§2.4)."""
+    def grandchild(rt):
+        return 0
+
+    def child(rt):
+        return rt.fork(grandchild)   # the pid the *child* allocated
+
+    def init(rt):
+        first = rt.fork(child)
+        second = rt.fork(child)
+        p1 = rt.waitpid(first)
+        p2 = rt.waitpid(second)
+        return (p1, p2)
+
+    # Both children allocate the same local pid — numerically conflicting,
+    # which is exactly the point.
+    assert run_unix(init).r0 == (1, 1)
+
+
+def test_wait_returns_earliest_forked():
+    def worker(rt, tag):
+        rt.g.work(100)
+        return tag
+
+    def init(rt):
+        rt.fork(worker, 11)
+        rt.fork(worker, 22)
+        pid_a, status_a = rt.wait()
+        pid_b, status_b = rt.wait()
+        return (status_a, status_b)
+
+    # Deterministic wait(): fork order, regardless of completion times.
+    assert run_unix(init).r0 == (11, 22)
+
+
+def test_console_write_propagates_to_device():
+    def child(rt):
+        rt.write_console(b"child says hi\n")
+        return 0
+
+    def init(rt):
+        rt.write_console(b"parent first\n")
+        pid = rt.fork(child)
+        rt.waitpid(pid)
+        return 0
+
+    result = run_unix(init)
+    assert result.console == b"parent first\nchild says hi\n"
+
+
+def test_console_outputs_grouped_per_process():
+    """Each process's output appears as a unit (§6.1)."""
+    def noisy(rt, tag):
+        for i in range(3):
+            rt.write_console(f"{tag}{i};".encode())
+        return 0
+
+    def init(rt):
+        a = rt.fork(noisy, "A")
+        b = rt.fork(noisy, "B")
+        rt.waitpid(a)
+        rt.waitpid(b)
+        return 0
+
+    result = run_unix(init)
+    assert result.console == b"A0;A1;A2;B0;B1;B2;"
+
+
+def test_console_output_identical_across_runs():
+    def noisy(rt, tag):
+        rt.write_console(f"[{tag}]".encode())
+        return 0
+
+    def init(rt):
+        pids = [rt.fork(noisy, str(i)) for i in range(5)]
+        for pid in pids:
+            rt.waitpid(pid)
+        return 0
+
+    outs = {run_unix(init).console for _ in range(3)}
+    assert len(outs) == 1
+
+
+def test_child_console_read_blocks_until_parent_provides():
+    def child(rt):
+        data = rt.read_console()
+        return data
+
+    def init(rt):
+        pid = rt.fork(child)
+        return rt.waitpid(pid)
+
+    # r0 of waitpid is the child's status (int); to get the data we have the
+    # child echo it instead.
+    def echo_child(rt):
+        rt.write_console(b"echo:" + rt.read_console())
+        return 0
+
+    def init2(rt):
+        pid = rt.fork(echo_child)
+        rt.waitpid(pid)
+        return 0
+
+    result = run_unix(init2, console_input=b"typed input")
+    assert result.console == b"echo:typed input"
+
+
+def test_root_console_read_direct():
+    def init(rt):
+        rt.write_console(b">" + rt.read_console())
+        return 0
+
+    result = run_unix(init, console_input=b"hello")
+    assert result.console == b">hello"
+
+
+def test_console_eof_returns_empty():
+    def init(rt):
+        first = rt.read_console()
+        second = rt.read_console()
+        return (first, second)
+
+    result = run_unix(init, console_input=b"x")
+    assert result.r0 == (b"x", b"")
+
+
+def test_exec_replaces_program_keeps_fs():
+    def second_program(rt):
+        return 100 if rt.fs.read_file("state.txt") == b"kept" else -1
+
+    def first_program(rt):
+        rt.fs.write_file("state.txt", b"kept")
+        rt.exec("second")
+
+    def init(rt):
+        pid = rt.fork(first_program)
+        return rt.waitpid(pid)
+
+    assert run_unix(init, programs={"second": second_program}).r0 == 100
+
+
+def test_fsync_pushes_output_before_exit():
+    def child(rt):
+        rt.write_console(b"early")
+        rt.fsync()
+        rt.g.work(10)
+        return 0
+
+    def init(rt):
+        pid = rt.fork(child)
+        rt.waitpid(pid)
+        return 0
+
+    assert run_unix(init).console == b"early"
+
+
+def test_nested_process_hierarchy_io():
+    """Console I/O forwards up through two levels (§4.3)."""
+    def leaf(rt):
+        rt.write_console(b"leaf:" + rt.read_console())
+        return 0
+
+    def mid(rt):
+        pid = rt.fork(leaf)
+        return rt.waitpid(pid)
+
+    def init(rt):
+        pid = rt.fork(mid)
+        return rt.waitpid(pid)
+
+    result = run_unix(init, console_input=b"deep")
+    assert result.console == b"leaf:deep"

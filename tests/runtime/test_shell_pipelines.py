@@ -1,0 +1,103 @@
+"""Shell pipeline and fd-redirection tests."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.runtime.process import unix_root
+from repro.runtime.shell import Shell
+
+
+def run_shell(script, programs=None, console_input=b""):
+    def init(rt):
+        return Shell(rt).run_script(script)
+
+    with Machine(programs=programs, console_input=console_input) as m:
+        result = m.run(unix_root(init))
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def upper_prog(rt):
+    """External filter: uppercase stdin to stdout."""
+    data = rt.read_console()
+    rt.write_console(data.upper())
+    return 0
+
+
+def count_prog(rt):
+    """External filter: count stdin bytes."""
+    total = 0
+    while True:
+        chunk = rt.read_console()
+        if not chunk:
+            break
+        total += len(chunk)
+    rt.write_console(f"{total}\n".encode())
+    return 0
+
+
+FILTERS = {"upper": upper_prog, "count": count_prog}
+
+
+def test_builtin_to_builtin_pipe():
+    result = run_shell("echo hello | cat")
+    assert result.console == b"hello\n"
+
+
+def test_builtin_to_external_pipe():
+    result = run_shell("echo shout | upper", programs=FILTERS)
+    assert result.console == b"SHOUT\n"
+
+
+def test_external_to_external_pipe():
+    result = run_shell(
+        "echo abcdef > data\ncat data | upper | count",
+        programs=FILTERS,
+    )
+    assert result.console == b"7\n"   # 'abcdef\n'
+
+
+def test_pipeline_with_final_redirect():
+    result = run_shell(
+        "echo mixed | upper > out.txt\ncat out.txt",
+        programs=FILTERS,
+    )
+    assert result.console == b"MIXED\n"
+
+
+def test_three_stage_pipeline():
+    result = run_shell("echo a b c | cat | cat")
+    assert result.console == b"a b c\n"
+
+
+def test_pipe_temp_files_cleaned_up():
+    result = run_shell("echo x | cat\nls")
+    assert b".pipe" not in result.console
+
+
+def test_external_stdin_redirect_eof():
+    """Redirected stdin hits EOF instead of blocking on the console."""
+    result = run_shell(
+        "echo 12345 > nums\ncount < nums",
+        programs=FILTERS,
+    )
+    assert result.console == b"6\n"
+
+
+def test_external_stdout_redirect_via_dup2():
+    result = run_shell(
+        "echo quiet > in\nupper < in > out\ncat out",
+        programs=FILTERS,
+    )
+    assert result.console == b"QUIET\n"
+
+
+def test_empty_stage_output_propagates_empty():
+    result = run_shell("true | count", programs=FILTERS)
+    assert result.console == b"0\n"
+
+
+def test_pipeline_deterministic():
+    script = "echo seed > s\ncat s | upper | count\nls"
+    outs = {run_shell(script, programs=FILTERS).console for _ in range(3)}
+    assert len(outs) == 1

@@ -1,0 +1,211 @@
+"""Shared-memory threading tests: private workspace fork/join + barriers."""
+
+import pytest
+
+from repro.common.errors import MergeConflictError
+from repro.kernel import Machine, Trap
+from repro.mem.layout import SHARED_BASE
+from repro.runtime.threads import (
+    ThreadFault,
+    ThreadGroup,
+    barrier_arrive,
+    thread_fork,
+    thread_join,
+)
+
+A = SHARED_BASE  # convenient alias
+
+
+def in_guest(fn):
+    with Machine() as m:
+        result = m.run(fn)
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_fork_join_returns_value():
+    def worker(g, x):
+        return x + 1
+
+    def main(g):
+        thread_fork(g, 1, worker, (41,))
+        return thread_join(g, 1)
+
+    assert in_guest(main).r0 == 42
+
+
+def test_in_place_updates_merge_back():
+    def worker(g, i):
+        g.store(A + 8 * i, i * 10)
+
+    def main(g):
+        g.write(A, bytes(64))
+        for i in range(8):
+            thread_fork(g, i + 1, worker, (i,))
+        for i in range(8):
+            thread_join(g, i + 1)
+        return [g.load(A + 8 * i) for i in range(8)]
+
+    assert in_guest(main).r0 == [i * 10 for i in range(8)]
+
+
+def test_swap_race_free():
+    """Paper §2.2: concurrent x=y / y=x always swaps."""
+    def xy(g):
+        g.store(A, g.load(A + 8))
+
+    def yx(g):
+        g.store(A + 8, g.load(A))
+
+    def main(g):
+        g.store(A, 7)
+        g.store(A + 8, 9)
+        thread_fork(g, 1, xy)
+        thread_fork(g, 2, yx)
+        thread_join(g, 1)
+        thread_join(g, 2)
+        return (g.load(A), g.load(A + 8))
+
+    assert in_guest(main).r0 == (9, 7)
+
+
+def test_write_write_race_is_detected_conflict():
+    def w1(g):
+        g.store(A, 111)
+
+    def w2(g):
+        g.store(A, 222)
+
+    def main(g):
+        thread_fork(g, 1, w1)
+        thread_fork(g, 2, w2)
+        thread_join(g, 1)
+        try:
+            thread_join(g, 2)
+        except MergeConflictError:
+            return "conflict-at-second-join"
+
+    assert in_guest(main).r0 == "conflict-at-second-join"
+
+
+def test_child_reads_prior_state_not_siblings():
+    """Reads see only causally-prior writes (the actor example, Fig. 1)."""
+    def actor(g, i, n):
+        neighbors = [g.load(A + 8 * j) for j in range(n)]
+        g.store(A + 8 * i, sum(neighbors) + i)
+
+    def main(g):
+        n = 4
+        for j in range(n):
+            g.store(A + 8 * j, 100)
+        for i in range(n):
+            thread_fork(g, i + 1, actor, (i, n))
+        for i in range(n):
+            thread_join(g, i + 1)
+        return [g.load(A + 8 * j) for j in range(n)]
+
+    # Every actor saw all-100 neighbor states regardless of join order.
+    assert in_guest(main).r0 == [400 + i for i in range(4)]
+
+
+def test_faulting_thread_raises_threadfault():
+    def bad(g):
+        raise RuntimeError("thread bug")
+
+    def main(g):
+        thread_fork(g, 1, bad)
+        try:
+            thread_join(g, 1)
+        except ThreadFault as fault:
+            return fault.trap.name
+
+    assert in_guest(main).r0 == "EXC"
+
+
+def test_thread_group_fork_join_all():
+    def worker(g, i):
+        g.store(A + 8 * i, i * i)
+        return i
+
+    def main(g):
+        tg = ThreadGroup(g)
+        for i in range(6):
+            tg.fork(worker, (i,))
+        results = tg.join_all()
+        values = [g.load(A + 8 * i) for i in range(6)]
+        return (results, values)
+
+    results, values = in_guest(main).r0
+    assert results == list(range(6))
+    assert values == [i * i for i in range(6)]
+
+
+def test_barrier_rounds_lockstep_actors():
+    """Figure 1's time-step simulation across barriers."""
+    STEPS = 3
+
+    def actor(g, i, n):
+        for _ in range(STEPS):
+            total = sum(g.load(A + 8 * j) for j in range(n))
+            g.store(A + 8 * i, total)
+            barrier_arrive(g)
+        return g.load(A + 8 * i)
+
+    def main(g):
+        n = 3
+        for j in range(n):
+            g.store(A + 8 * j, 1)
+        tg = ThreadGroup(g)
+        for i in range(n):
+            tg.fork(actor, (i, n))
+        return tg.run_barrier_rounds(max_rounds=10)
+
+    # Deterministic lockstep: 1,1,1 -> 3,3,3 -> 9,9,9 -> 27 each.
+    assert in_guest(main).r0 == [27, 27, 27]
+
+
+def test_barrier_threads_see_all_prior_results():
+    def worker(g, i):
+        g.store(A + 8 * i, 5 + i)
+        barrier_arrive(g)
+        # After the barrier everyone sees both writes.
+        return g.load(A) + g.load(A + 8)
+
+    def main(g):
+        tg = ThreadGroup(g)
+        for i in range(2):
+            tg.fork(worker, (i,))
+        return tg.run_barrier_rounds()
+
+    assert in_guest(main).r0 == [11, 11]
+
+
+def test_private_region_not_merged():
+    from repro.mem.layout import PRIVATE_BASE
+
+    def worker(g):
+        g.store(PRIVATE_BASE, 999)   # thread-private: never merged
+
+    def main(g):
+        g.store(PRIVATE_BASE, 5)
+        thread_fork(g, 1, worker)
+        thread_join(g, 1)
+        return g.load(PRIVATE_BASE)
+
+    assert in_guest(main).r0 == 5
+
+
+def test_determinism_across_runs():
+    def worker(g, i):
+        g.work((i + 1) * 37)
+        g.store(A + 8 * i, i)
+        return i
+
+    def main(g):
+        tg = ThreadGroup(g)
+        for i in range(5):
+            tg.fork(worker, (i,))
+        return tuple(tg.join_all())
+
+    runs = {in_guest(main).r0 for _ in range(3)}
+    assert len(runs) == 1

@@ -1,0 +1,90 @@
+"""Tests for explicit time inputs and supervision (§2.1)."""
+
+import pytest
+
+from repro.kernel import Machine
+from repro.runtime.process import ProcessRuntime, unix_root
+
+
+def run_unix(init, time_script=()):
+    with Machine(time_script=time_script) as m:
+        result = m.run(unix_root(init))
+    assert result.trap.name in ("EXIT", "RET"), result.trap_info
+    return result
+
+
+def test_root_reads_scripted_time():
+    def init(rt):
+        return (rt.time(), rt.time())
+
+    assert run_unix(init, time_script=[111, 222]).r0 == (111, 222)
+
+
+def test_child_time_forwarded_through_parent():
+    def child(rt):
+        return rt.time()
+
+    def init(rt):
+        pid = rt.fork(child)
+        return rt.waitpid(pid)
+
+    assert run_unix(init, time_script=[777]).r0 == 777
+
+
+def test_grandchild_time_forwarded_two_levels():
+    def leaf(rt):
+        return rt.time()
+
+    def mid(rt):
+        pid = rt.fork(leaf)
+        return rt.waitpid(pid)
+
+    def init(rt):
+        pid = rt.fork(mid)
+        return rt.waitpid(pid)
+
+    assert run_unix(init, time_script=[31337]).r0 == 31337
+
+
+def test_supervisor_can_synthesize_subtree_time():
+    """A middle process overrides provide_time() to fake its subtree's
+    clock — the §2.1 interception in action."""
+
+    class FakeClockRuntime(ProcessRuntime):
+        def provide_time(self):
+            return 42  # frozen clock for everything below us
+
+    def leaf(rt):
+        return rt.time()
+
+    def supervisor(rt):
+        fake = FakeClockRuntime(rt.g)
+        pid = fake.fork(leaf)
+        return fake.waitpid(pid)
+
+    def init(rt):
+        pid = rt.fork(supervisor)
+        child_view = rt.waitpid(pid)
+        return (child_view, rt.time())
+
+    faked, real = run_unix(init, time_script=[1000, 2000]).r0
+    assert faked == 42          # subtree saw the synthetic clock
+    assert real == 1000         # root still sees the device script
+
+
+def test_replay_identical_with_same_time_script():
+    def child(rt):
+        t = rt.time()
+        rt.write_console(f"t={t};".encode())
+        return 0
+
+    def init(rt):
+        for _ in range(2):
+            rt.waitpid(rt.fork(child))
+        return 0
+
+    a = run_unix(init, time_script=[5, 6]).console
+    b = run_unix(init, time_script=[5, 6]).console
+    c = run_unix(init, time_script=[50, 60]).console
+    assert a == b == b"t=5;t=6;"
+    assert c == b"t=50;t=60;"

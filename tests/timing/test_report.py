@@ -1,0 +1,87 @@
+"""Tests for trace analysis and reporting."""
+
+import pytest
+
+from repro.timing import Trace
+from repro.timing.report import (
+    critical_path_ratio,
+    gantt,
+    parallelism_profile,
+    scaling_curve,
+    speedup_curve,
+    work_breakdown,
+)
+
+
+def fork_join_trace(width=4, child_len=1000):
+    tr = Trace()
+    tr.begin("p")
+    tr.charge("p", 100)
+    ends = []
+    for i in range(width):
+        closed, _ = tr.cut("p")
+        seg = tr.begin(f"c{i}")
+        tr.edge(closed, seg)
+        tr.charge(f"c{i}", child_len)
+        ends.append(tr.end(f"c{i}"))
+    for end in ends:
+        _, opened = tr.cut("p")
+        tr.edge(end, opened)
+    tr.charge("p", 50)
+    tr.finish()
+    return tr
+
+
+def test_work_breakdown_sorted_desc():
+    tr = fork_join_trace()
+    rows = work_breakdown(tr)
+    values = [v for _, v in rows]
+    assert values == sorted(values, reverse=True)
+    assert rows[0][1] == 1000
+
+
+def test_work_breakdown_top_limits():
+    tr = fork_join_trace(width=6)
+    assert len(work_breakdown(tr, top=3)) == 3
+
+
+def test_scaling_and_speedup_curves():
+    tr = fork_join_trace(width=8, child_len=10_000)
+    curve = scaling_curve(tr, (1, 2, 8))
+    assert curve[1] > curve[2] > curve[8]
+    speedups = speedup_curve(tr, (2, 8))
+    assert speedups[8] > speedups[2] > 1.0
+
+
+def test_parallelism_profile_bounds():
+    tr = fork_join_trace(width=4, child_len=10_000)
+    profile = parallelism_profile(tr, ncpus=4, buckets=10)
+    assert len(profile) == 10
+    assert all(0.0 <= p <= 4.0 + 1e-9 for p in profile)
+    assert max(profile) > 1.5     # the fork phase is actually parallel
+
+
+def test_parallelism_profile_empty_trace():
+    assert parallelism_profile(Trace(), ncpus=2, buckets=5) == [0.0] * 5
+
+
+def test_gantt_renders_rows():
+    tr = fork_join_trace(width=3, child_len=5000)
+    chart = gantt(tr, ncpus=3)
+    assert "makespan" in chart
+    assert chart.count("|") >= 2 * 4   # p + 3 children rows
+    assert "#" in chart
+
+
+def test_gantt_empty():
+    assert gantt(Trace(), ncpus=1) == "(empty trace)"
+
+
+def test_critical_path_ratio():
+    serial = Trace()
+    serial.begin("a")
+    serial.charge("a", 100)
+    serial.finish()
+    assert critical_path_ratio(serial) == pytest.approx(1.0)
+    tr = fork_join_trace(width=8, child_len=10_000)
+    assert critical_path_ratio(tr) > 4.0
