@@ -30,9 +30,11 @@ class RunResult:
         return f"<RunResult {self.kind} value={self.value!r}>"
 
 
-def run_determinator(workload, params, cost=None, nnodes=1, tcp_mode=False):
+def run_determinator(workload, params, cost=None, nnodes=1, tcp_mode=False,
+                     dirty_tracking=True):
     """Run ``workload.run(api, **params)`` on a Determinator machine."""
-    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode)
+    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
+                      dirty_tracking=dirty_tracking)
 
     def main(g):
         return workload.run(DetApi(g), **params)

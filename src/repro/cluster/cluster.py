@@ -36,17 +36,23 @@ class Cluster:
     >>> result.makespan(), result.network.summary()
     """
 
-    def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False):
+    def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
+                 dirty_tracking=True):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
         self.tcp_mode = tcp_mode
+        #: Generation-tagged dirty tracking: the per-node read-only page
+        #: cache keys on ``(serial, generation)`` content tags, so an
+        #: unchanged frame revisiting a node never crosses the wire twice.
+        self.dirty_tracking = dirty_tracking
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
         :class:`ClusterResult`.  Raises if the program faults."""
         machine = Machine(
-            cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode
+            cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode,
+            dirty_tracking=self.dirty_tracking,
         )
         with machine:
             result = machine.run(entry, args)

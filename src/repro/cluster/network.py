@@ -20,7 +20,9 @@ class NetworkStats:
         self.pages_fetched = machine.pages_fetched
         #: Payload bytes those fetches moved.
         self.bytes_moved = self.pages_fetched * PAGE_SIZE
-        #: node -> number of distinct frame versions materialized there.
+        #: node -> number of distinct *frames* currently cached there
+        #: (the cache keeps only each frame's newest generation, so dead
+        #: versions don't count).
         self.cached_per_node = {
             node: len(serials) for node, serials in machine.node_cache.items()
         }

@@ -156,8 +156,23 @@ class Guest:
         dtype = np.dtype(dtype)
         nbytes = dtype.itemsize * count
         self.charge(_MEM_BASE + (nbytes >> 4))
-        self.kernel.touch(self.space, addr, nbytes, write=write)
-        raw = self.space.addrspace.as_array(addr, nbytes, writable=write)
+        if write:
+            # Materialize the private frame first (bumping its content
+            # tag), then register the *post-bump* tag at this node so the
+            # writer is never charged a fetch for its own page.
+            raw = self.space.addrspace.as_array(addr, nbytes, writable=True,
+                                                check_perm=True)
+            self.kernel.touch(self.space, addr, nbytes, write=True)
+        else:
+            self.kernel.touch(self.space, addr, nbytes)
+            zero0 = self.space.addrspace.counters.demand_zero
+            raw = self.space.addrspace.as_array(addr, nbytes, writable=False,
+                                                check_perm=True)
+            if self.space.addrspace.counters.demand_zero != zero0:
+                # The view demand-zeroed a frame; it was born on this
+                # node, so register its tag charge-free (the write=True
+                # branch of touch caches without counting a fetch).
+                self.kernel.touch(self.space, addr, nbytes, write=True)
         return raw.view(dtype)
 
     # -- registers -----------------------------------------------------------------

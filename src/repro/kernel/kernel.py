@@ -34,11 +34,13 @@ High bits of the child number select the node to interact on (§3.3):
 use :func:`child_ref` to build cross-node child numbers.
 """
 
-from repro.common.errors import BadChildError, KernelError
+import time
+
+from repro.common.errors import BadChildError, KernelError, MergeConflictError
 from repro.kernel.space import Space, SpaceState
 from repro.kernel.traps import Trap
-from repro.mem.merge import merge_range
-from repro.mem.page import PAGE_SHIFT, PAGE_SIZE, Page
+from repro.mem.merge import MergeStats, merge_range
+from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
 from repro.mem.snapshot import Snapshot
 
 #: Bit position where the node-number field starts in a child number.
@@ -143,27 +145,42 @@ class Kernel:
         """Cluster demand paging: account for page fetches when a space
         accesses memory away from where its frames were last materialized.
 
-        Unchanged frames (same serial) are served from the per-node
-        read-only page cache, reproducing the §3.3 optimization that lets
-        program text move free when a space revisits a node.
+        Unchanged frames (same ``(serial, generation)`` content tag) are
+        served from the per-node read-only page cache, reproducing the
+        §3.3 optimization that lets program text move free when a space
+        revisits a node.  Writers bump the frame generation (in
+        ``AddressSpace._ensure_writable``), so a mutated frame carries a
+        fresh tag and every other node refetches it on next use.
         """
         machine = self.machine
         if machine.nnodes <= 1 or size == 0:
             return
         node = space.cur_node
         cache = machine.node_cache[node]
+        aspace = space.addrspace
         vpn0 = addr >> PAGE_SHIFT
         vpn1 = (addr + size - 1) >> PAGE_SHIFT
         fetched = 0
-        for vpn in range(vpn0, vpn1 + 1):
-            frame = space.addrspace.frame(vpn)
+        # Unmapped vpns have nothing to fetch or cache.  Walk whichever
+        # side is smaller: the range itself (scalar accesses stay O(1))
+        # or the mapped-page set (huge sparse ranges — whole-share
+        # merges — stay O(mapped) instead of O(range)).
+        if vpn1 - vpn0 + 1 <= aspace.mapped_page_count():
+            vpns = range(vpn0, vpn1 + 1)
+        else:
+            vpns = aspace.mapped_vpns_in(vpn0, vpn1 + 1)
+        for vpn in vpns:
+            frame = aspace.frame(vpn)
             if frame is None:
                 continue
+            # The cache maps serial -> newest generation seen at this
+            # node; older generations can never be served again, so
+            # replacing (rather than accumulating) bounds the cache to
+            # live frames.
             if write:
-                frame.serial = Page.new_serial()
-                cache.add(frame.serial)
-            elif frame.serial not in cache:
-                cache.add(frame.serial)
+                cache[frame.serial] = frame.generation
+            elif cache.get(frame.serial) != frame.generation:
+                cache[frame.serial] = frame.generation
                 fetched += 1
         if fetched:
             cost = machine.cost
@@ -248,10 +265,25 @@ class Kernel:
             child.addrspace.set_perm(addr, size, p)
         if snap is not None:
             addr, size = snap
-            if child.snapshot is not None:
-                child.snapshot.release()
-            child.snapshot = Snapshot.capture(child.addrspace, addr, size)
-            self.kcharge(caller, child.snapshot.page_count() * cost.page_map)
+            recap = None
+            old = child.snapshot
+            if old is not None and (old.addr, old.size) == (addr, size):
+                # Incremental re-snap: only pages dirtied since the last
+                # Snap are re-shared — O(dirty), not O(mapped).
+                recap = old.recapture(child.addrspace)
+            if recap is None:
+                if old is not None:
+                    old.release()
+                child.snapshot = Snapshot.capture(child.addrspace, addr, size)
+                self.kcharge(caller,
+                             child.snapshot.page_count() * cost.page_map)
+            else:
+                # page_track per ledger entry walked, page_map per frame
+                # actually re-pinned (never more than the full capture of
+                # the same end state would charge).
+                repinned, walked = recap
+                self.kcharge(caller, walked * cost.page_track
+                             + repinned * cost.page_map)
         if tree is not None:
             src_child, dst_child = tree
             src = caller.children.get(src_child)
@@ -337,19 +369,58 @@ class Kernel:
             addr = size = None
         else:
             addr, size = merge
-        self.touch(child, child.snapshot.addr if addr is None else addr,
-                   child.snapshot.size if size is None else size)
-        stats = merge_range(
-            caller.addrspace,
-            child.addrspace,
-            child.snapshot,
-            addr,
-            size,
-            mode=merge_mode or self.machine.merge_mode,
-        )
+        maddr = child.snapshot.addr if addr is None else addr
+        msize = child.snapshot.size if size is None else size
+        self.touch(child, maddr, msize)
+        stats = MergeStats()
+        t0 = time.perf_counter()
+        try:
+            merge_range(
+                caller.addrspace,
+                child.addrspace,
+                child.snapshot,
+                addr,
+                size,
+                mode=merge_mode or self.machine.merge_mode,
+                stats=stats,
+            )
+        except MergeConflictError:
+            # A conflict is still a merge that performed scan/diff work
+            # (and, on the legacy path, may have written pages): account
+            # it before re-raising.  Argument-validation errors, by
+            # contrast, propagate without leaving a stats record.
+            self._finish_merge(caller, stats, t0)
+            raise
+        self._finish_merge(caller, stats, t0)
+
+    def _finish_merge(self, caller, stats, t0):
+        """Post-merge accounting shared by the success and conflict paths."""
+        cost = self.machine.cost
+        # Host wall-clock spent merging (reporting only — never feeds
+        # back into virtual time, so determinism is unaffected).
+        self.machine.merge_seconds += time.perf_counter() - t0
+        # The merge changed these parent pages (diff writes, adoptions):
+        # register their fresh tags at the merging node so the caller is
+        # never charged a fetch for pages it just produced.  Only the
+        # written pages — untouched parent pages whose content lives on
+        # another node must still be fetched on next access.  The list is
+        # consumed here so the retained stats log stays O(1) per merge.
+        written = stats.written_vpns
+        stats.written_vpns = ()
+        if written and self.machine.nnodes > 1:
+            cache = self.machine.node_cache[caller.cur_node]
+            aspace = caller.addrspace
+            for vpn in written:
+                frame = aspace.frame(vpn)
+                if frame is not None:
+                    cache[frame.serial] = frame.generation
+        # Dirty-ledger enumeration inspects a ledger entry per candidate
+        # (page_track); a page-table scan inspects a PTE (page_scan).
+        scan_cost = cost.page_track if stats.tracked else cost.page_scan
         self.kcharge(
             caller,
-            stats.pages_scanned * cost.page_scan
+            stats.pages_scanned * scan_cost
+            + stats.batch_ops * cost.batch_diff
             + stats.pages_diffed * cost.page_diff
             + stats.pages_adopted * cost.page_adopt
             + stats.bytes_merged * cost.byte_merge,

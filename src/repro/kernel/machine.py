@@ -28,6 +28,7 @@ from repro.kernel.engine import Engine
 from repro.kernel.guest import Guest
 from repro.kernel.kernel import Kernel
 from repro.kernel.space import Space, SpaceState
+from repro.mem.page import FrameAllocator
 from repro.timing.model import CostModel
 from repro.timing.schedule import schedule
 from repro.timing.trace import Trace
@@ -79,6 +80,7 @@ class Machine:
         merge_mode="strict",
         tcp_mode=False,
         programs=None,
+        dirty_tracking=True,
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -88,6 +90,12 @@ class Machine:
         self.merge_mode = merge_mode
         #: Model TCP-like framing on cluster messages (§6.3).
         self.tcp_mode = tcp_mode
+        #: Generation-tagged dirty-page tracking (DESIGN.md).  Disable to
+        #: get the legacy O(mapped) Snap/Merge behavior (the ablation
+        #: baseline of benchmarks/bench_ablation_dirtytrack.py).
+        self.dirty_tracking = dirty_tracking
+        #: Machine-owned frame serial source (no cross-machine state).
+        self.frames = FrameAllocator()
 
         self.trace = Trace()
         self.engine = Engine(self)
@@ -108,14 +116,17 @@ class Machine:
         self.debug_lines = []
 
         # Cluster bookkeeping.
-        #: node -> set of frame serials materialized at that node (§3.3
-        #: read-only page cache).
-        self.node_cache = defaultdict(set)
+        #: node -> {frame serial: newest generation materialized at that
+        #: node} (§3.3 read-only page cache, keyed on content tags).
+        self.node_cache = defaultdict(dict)
         #: Total demand page fetches across the run.
         self.pages_fetched = 0
 
         #: MergeStats of every kernel merge (tests, ablations).
         self.merge_stats_total = []
+        #: Host wall-clock seconds spent inside merge_range (reporting
+        #: only; never affects virtual time).
+        self.merge_seconds = 0.0
 
         self._uid_counter = 0
         self._closed = False

@@ -49,7 +49,10 @@ class Space:
         self.parent = parent
         #: Stable identifier, used as the trace context id.
         self.uid = uid
-        self.addrspace = AddressSpace()
+        self.addrspace = AddressSpace(
+            allocator=machine.frames,
+            track_dirty=machine.dirty_tracking,
+        )
         #: Child-number -> Space.  Numbers are chosen by user code (§2.4).
         self.children = {}
         self.regs = fresh_regs()

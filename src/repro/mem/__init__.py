@@ -6,7 +6,7 @@ page permissions, address-space snapshots, and the byte-granularity
 three-way ``Merge`` with write/write conflict detection (paper §3.2).
 """
 
-from repro.mem.page import Page, PAGE_SIZE, PAGE_SHIFT
+from repro.mem.page import Page, FrameAllocator, PAGE_SIZE, PAGE_SHIFT
 from repro.mem.layout import (
     VA_SIZE,
     TEXT_BASE,
@@ -19,12 +19,13 @@ from repro.mem.layout import (
     PRIVATE_BASE,
     PRIVATE_END,
 )
-from repro.mem.addrspace import AddressSpace, PERM_NONE, PERM_R, PERM_RW
+from repro.mem.addrspace import AddressSpace, PERM_NONE, PERM_R, PERM_W, PERM_RW
 from repro.mem.snapshot import Snapshot
 from repro.mem.merge import merge_range, MergeStats
 
 __all__ = [
     "Page",
+    "FrameAllocator",
     "PAGE_SIZE",
     "PAGE_SHIFT",
     "VA_SIZE",
@@ -40,6 +41,7 @@ __all__ = [
     "AddressSpace",
     "PERM_NONE",
     "PERM_R",
+    "PERM_W",
     "PERM_RW",
     "Snapshot",
     "merge_range",

@@ -10,7 +10,16 @@ unmapped page allocates a fresh zero frame.  This matches how the
 user-level runtime experiences memory on the real system (the parent maps
 zero-filled regions with the Zero option before starting a child) and
 keeps every access deterministic.
+
+Dirty tracking (DESIGN.md): every mutation is vectored through
+:meth:`AddressSpace._ensure_writable` (or one of the page-granular range
+operations), which records the touched vpn in a per-space *dirty ledger*
+stamped with a monotonically increasing write clock.  Snapshots record
+the clock at capture time; merges and re-snapshots then enumerate the
+pages written since in O(dirty) instead of scanning every mapped page.
 """
+
+import bisect
 
 import numpy as np
 
@@ -21,7 +30,8 @@ from repro.mem.layout import VA_SIZE
 #: Page permission bits, set via the kernel's Perm option (paper Table 2).
 PERM_NONE = 0
 PERM_R = 1
-PERM_RW = 3
+PERM_W = 2
+PERM_RW = PERM_R | PERM_W
 
 
 class MemCounters:
@@ -57,12 +67,22 @@ def _check_page_aligned(addr, size):
 class AddressSpace:
     """A private virtual address space, the memory half of a *space* (§3.1)."""
 
-    def __init__(self):
+    def __init__(self, allocator=None, track_dirty=True):
         # vpn -> Page
         self._pages = {}
         # vpn -> perm; pages absent from this dict default to PERM_RW.
         self._perms = {}
+        #: Frame serial source (machine-owned; None -> module default).
+        self.allocator = allocator
         self.counters = MemCounters()
+        self._track_dirty = bool(track_dirty)
+        #: vpn -> write-clock value of the last mutation touching it.
+        self._dirty = {}
+        #: Clock-ordered (clock, vpn) mutation events; periodically
+        #: compacted to the latest event per vpn, so queries for a recent
+        #: token cost O(log + written-since-token), not O(ever-written).
+        self._events = []
+        self._clock = 0
 
     # -- introspection ----------------------------------------------------
 
@@ -90,6 +110,45 @@ class AddressSpace:
         """Effective permission for ``vpn`` (unmapped pages default RW)."""
         return self._perms.get(vpn, PERM_RW)
 
+    # -- dirty ledger ------------------------------------------------------
+
+    def tracks_dirty(self):
+        """True if this space records a dirty ledger."""
+        return self._track_dirty
+
+    def dirty_token(self):
+        """Opaque token marking 'now' in this space's write history, or
+        None when tracking is disabled.  Pass to :meth:`dirty_since`."""
+        return self._clock if self._track_dirty else None
+
+    def dirty_since(self, token):
+        """Set of vpns mutated after ``token``, or None if unavailable
+        (tracking disabled, or the token came from an untracked space)."""
+        if not self._track_dirty or token is None:
+            return None
+        # First event strictly newer than the token; every page whose
+        # latest mutation postdates the token has at least one event in
+        # the suffix (compaction always keeps the latest per vpn).
+        start = bisect.bisect_left(self._events, (token + 1,))
+        return {vpn for _, vpn in self._events[start:]}
+
+    def dirty_page_count(self):
+        """Pages ever recorded in the dirty ledger (introspection)."""
+        return len(self._dirty)
+
+    def _mark_dirty(self, vpn):
+        if not self._track_dirty:
+            return
+        self._clock += 1
+        self._dirty[vpn] = self._clock
+        self._events.append((self._clock, vpn))
+        if len(self._events) > 64 and len(self._events) > 2 * len(self._dirty):
+            # Compact superseded events; keeps the log within 2x the
+            # number of distinct dirty pages.
+            self._events = sorted(
+                (clock, vpn) for vpn, clock in self._dirty.items()
+            )
+
     # -- page-level operations --------------------------------------------
 
     def _map(self, vpn, page, perm=None):
@@ -99,24 +158,31 @@ class AddressSpace:
         self._pages[vpn] = page
         if perm is not None:
             self._perms[vpn] = perm
+        self._mark_dirty(vpn)
 
     def _ensure_writable(self, vpn):
         """Return a privately-owned frame for ``vpn``, allocating or
         COW-copying as needed.  Returns (page, cost_event) where cost_event
-        is 'hit', 'zero', or 'cow'."""
+        is 'hit', 'zero', or 'cow'.  The caller is about to mutate the
+        frame, so this also bumps the frame generation and records the
+        page in the dirty ledger."""
         page = self._pages.get(vpn)
         if page is None:
-            page = Page()
+            page = Page(allocator=self.allocator)
             self._pages[vpn] = page
             self.counters.demand_zero += 1
-            return page, "zero"
-        if page.refs > 1:
+            event = "zero"
+        elif page.refs > 1:
             page.decref()
-            page = page.fork_copy()
+            page = page.fork_copy(self.allocator)
             self._pages[vpn] = page
             self.counters.cow_breaks += 1
-            return page, "cow"
-        return page, "hit"
+            event = "cow"
+        else:
+            event = "hit"
+        page.bump()
+        self._mark_dirty(vpn)
+        return page, event
 
     # -- byte-level access (used by the guest API) ------------------------
 
@@ -152,7 +218,7 @@ class AddressSpace:
             vpn = (addr + pos) >> PAGE_SHIFT
             off = (addr + pos) & (PAGE_SIZE - 1)
             n = min(PAGE_SIZE - off, size - pos)
-            if check_perm and not (self.perm(vpn) & PERM_RW & 2):
+            if check_perm and not (self.perm(vpn) & PERM_W):
                 raise PermissionFault(addr + pos, "write")
             page, event = self._ensure_writable(vpn)
             if event != "hit":
@@ -161,7 +227,7 @@ class AddressSpace:
             pos += n
         return events
 
-    def as_array(self, addr, size, writable=False):
+    def as_array(self, addr, size, writable=False, check_perm=False):
         """Return a numpy uint8 view covering ``[addr, addr+size)``.
 
         The range must lie within one page unless it is page-aligned; for
@@ -174,16 +240,27 @@ class AddressSpace:
         vpn = addr >> PAGE_SHIFT
         off = addr & (PAGE_SIZE - 1)
         if off + size <= PAGE_SIZE:
+            if check_perm:
+                need = PERM_W if writable else PERM_R
+                if not (self.perm(vpn) & need):
+                    raise PermissionFault(addr, "write" if writable else "read")
             if writable:
                 page, _ = self._ensure_writable(vpn)
             else:
                 page = self._pages.get(vpn)
                 if page is None:
-                    page, _ = self._ensure_writable(vpn)
+                    # Demand-zero for a *read* view: materialize the frame
+                    # without bumping its generation or dirtying the
+                    # ledger — a read must not look like a write to
+                    # Snap/Merge accounting.
+                    page = Page(allocator=self.allocator)
+                    self._pages[vpn] = page
+                    self.counters.demand_zero += 1
             return np.frombuffer(page.data, dtype=np.uint8)[off : off + size]
         if writable:
             raise ValueError("writable views must not cross page boundaries")
-        return np.frombuffer(self.read(addr, size), dtype=np.uint8)
+        return np.frombuffer(self.read(addr, size, check_perm=check_perm),
+                             dtype=np.uint8)
 
     def privatize_range(self, addr, size):
         """Ensure every page overlapping ``[addr, addr+size)`` is mapped and
@@ -243,17 +320,35 @@ class AddressSpace:
                 if dpage is not None:
                     dpage.decref()
                     del self._pages[dvpn]
+                    self._mark_dirty(dvpn)
                     touched += 1
                 self._perms.pop(dvpn, None)
                 if perm is not None:
                     self._perms[dvpn] = perm
                 continue
             if spage is dpage:
+                # Already sharing the identical frame: content is in sync,
+                # but a requested permission change must still apply.
+                if perm is not None:
+                    self._perms[dvpn] = perm
                 continue
             self._map(dvpn, spage.incref(), perm)
             self.counters.pages_shared += 1
             touched += 1
         return touched
+
+    def unmap_page(self, vpn):
+        """Drop the frame at ``vpn`` (demand-zero on next access) without
+        touching its permissions.  Merge's zero-adoption uses this:
+        Merge transfers *content*, never permissions.  Returns 1 if a
+        frame was dropped."""
+        page = self._pages.pop(vpn, None)
+        if page is None:
+            return 0
+        page.decref()
+        self._mark_dirty(vpn)
+        self.counters.pages_zeroed += 1
+        return 1
 
     def zero_range(self, addr, size):
         """Zero-fill a page-aligned range (kernel Zero option).
@@ -268,6 +363,7 @@ class AddressSpace:
         removed = 0
         for vpn in self.mapped_vpns_in(vpn0, vpn0 + npages):
             self._pages.pop(vpn).decref()
+            self._mark_dirty(vpn)
             removed += 1
         for vpn in [v for v in self._perms if vpn0 <= v < vpn0 + npages]:
             del self._perms[vpn]
@@ -275,7 +371,10 @@ class AddressSpace:
         return removed
 
     def set_perm(self, addr, size, perm):
-        """Set page permissions on a page-aligned range (Perm option)."""
+        """Set page permissions on a page-aligned range (Perm option).
+
+        Permissions are metadata, not content: they do not enter the
+        dirty ledger (Merge and snapshots compare bytes only)."""
         _check_range(addr, size)
         _check_page_aligned(addr, size)
         vpn0 = addr >> PAGE_SHIFT
@@ -285,7 +384,7 @@ class AddressSpace:
     def clone(self):
         """Return a full COW clone of this address space (used by the
         kernel's Tree option and by space migration)."""
-        out = AddressSpace()
+        out = AddressSpace(self.allocator, self._track_dirty)
         for vpn, page in self._pages.items():
             out._pages[vpn] = page.incref()
         out._perms = dict(self._perms)
@@ -298,6 +397,11 @@ class AddressSpace:
             page.decref()
         self._pages.clear()
         self._perms.clear()
+        self._dirty.clear()
+        self._events.clear()
 
     def __repr__(self):
-        return f"<AddressSpace pages={len(self._pages)}>"
+        return (
+            f"<AddressSpace pages={len(self._pages)} "
+            f"dirty={len(self._dirty)}>"
+        )

@@ -7,9 +7,42 @@
     and parent's spaces since the snapshot, the kernel generates an
     exception."
 
-The fast paths matter: most pages are untouched (frame identity equals the
-snapshot frame) or changed on only one side (whole-frame adoption).  Only
-pages written on both sides need the numpy byte-diff.
+The fast paths matter: most pages are untouched (frame identity/tag
+equals the snapshot baseline) or changed on only one side (whole-frame
+adoption).  Only pages written on both sides need a byte-level diff.
+
+Two implementations live here (DESIGN.md):
+
+* the **tracked** path — used when the snapshot was captured from a
+  dirty-tracking child — enumerates candidates from the child's dirty
+  ledger in O(written-since-snap), adopts parent-unchanged pages
+  (parent frame still the pinned snapshot frame, which *is* the
+  baseline-tag check) without reading their bytes, and diffs the
+  remaining
+  both-sides-dirty pages as one stacked ``(N, 4096)`` uint8 ndarray
+  operation instead of a Python per-page loop;
+* the **legacy** path — kept for untracked spaces and as the ablation
+  baseline (``benchmarks/bench_ablation_dirtytrack.py``) — scans the
+  union of mapped pages and byte-diffs every COW-broken page.
+
+On success both paths produce identical parent memory, and both raise
+on exactly the same triples with the same first-conflict address; only
+the work (and therefore :class:`MergeStats` and the charged cost)
+differs.  The one observable difference is the parent's state *after a
+raised conflict*: the tracked path checks a whole batch (``BATCH_PAGES``
+both-dirty pages) for conflicts before writing any of it — atomic-on-
+conflict for any merge whose both-dirty set fits one batch — while the
+legacy path, like the paper's kernel, may already have merged
+lower-addressed pages.  Programs should treat a conflicted parent
+region as indeterminate.
+
+One more deliberate accounting divergence: when a child COW-breaks a
+page but writes back the very same bytes, the tracked path adopts the
+child's (byte-identical) frame without noticing — reading the bytes to
+find out would cost exactly the compare the ledger exists to avoid —
+while the legacy path compares and skips.  Parent memory is identical
+either way; only frame identity, ``pages_adopted``, and downstream
+cluster-cache residency differ.
 """
 
 import numpy as np
@@ -21,20 +54,39 @@ _ZEROS = np.zeros(PAGE_SIZE, dtype=np.uint8)
 
 
 class MergeStats:
-    """Cost-relevant accounting returned by :func:`merge_range`."""
+    """Cost-relevant accounting returned by :func:`merge_range`.
 
-    __slots__ = ("pages_scanned", "pages_diffed", "pages_adopted", "bytes_merged")
+    ``pages_scanned`` counts candidate pages examined; ``tracked`` tells
+    whether they were enumerated from the dirty ledger (charged at the
+    cheaper ``page_track`` rate) or by scanning mapped page tables
+    (``page_scan``).  ``pages_diffed`` counts pages whose *bytes* were
+    compared; ``batch_ops`` counts stacked ndarray diff operations
+    (charged at ``batch_diff`` each).  ``bytes_merged`` counts bytes
+    written into parent frames (whole-frame adoptions are COW remaps and
+    copy no bytes).
+    """
+
+    __slots__ = ("pages_scanned", "pages_diffed", "pages_adopted",
+                 "bytes_merged", "batch_ops", "tracked", "written_vpns")
 
     def __init__(self):
         self.pages_scanned = 0
         self.pages_diffed = 0
         self.pages_adopted = 0
         self.bytes_merged = 0
+        self.batch_ops = 0
+        self.tracked = False
+        #: Vpns whose parent mapping or bytes the merge changed (diff
+        #: writes + adoptions) — what the kernel must re-register in the
+        #: merging node's page cache.  The kernel empties it once
+        #: consumed, so long-lived stats logs stay O(1) per merge.
+        self.written_vpns = []
 
     def __repr__(self):
         return (
             f"<MergeStats scanned={self.pages_scanned} diffed={self.pages_diffed}"
-            f" adopted={self.pages_adopted} bytes={self.bytes_merged}>"
+            f" adopted={self.pages_adopted} bytes={self.bytes_merged}"
+            f" batches={self.batch_ops} tracked={self.tracked}>"
         )
 
 
@@ -48,8 +100,28 @@ def _page_array(space_page):
 #: Valid merge conflict-handling modes.
 MODES = ("strict", "lenient", "override")
 
+#: Both-sides-dirty pages are diffed in stacked batches of this many
+#: pages, bounding the transient ndarray memory (~3 x 16 MB per batch at
+#: the default) no matter how much of the space is dirty on both sides.
+BATCH_PAGES = 4096
 
-def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
+
+def _adopt(parent, child, child_frame, vpn, stats):
+    """Adopt the child's whole page into the parent (parent unchanged
+    since the snapshot): a COW remap — or an unmap when the child
+    dropped the page — never a byte copy, and never a permission change."""
+    if child_frame is None:
+        parent.unmap_page(vpn)
+    else:
+        parent.copy_range_from(
+            child, vpn << PAGE_SHIFT, vpn << PAGE_SHIFT, PAGE_SIZE
+        )
+    stats.pages_adopted += 1
+    stats.written_vpns.append(vpn)
+
+
+def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict",
+                stats=None):
     """Merge the child's changes since ``snapshot`` into ``parent``.
 
     Parameters
@@ -58,7 +130,7 @@ def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
         :class:`~repro.mem.addrspace.AddressSpace` objects.
     snapshot:
         The child's reference :class:`~repro.mem.snapshot.Snapshot`
-        (captured from the parent's image at fork time).
+        (captured from the child's image at fork time).
     addr, size:
         Page-aligned subrange to merge; defaults to the snapshot's range.
     mode:
@@ -70,6 +142,10 @@ def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
         which is what the deterministic legacy-pthreads scheduler (§4.5)
         needs to give racy programs a repeatable, merge-order-defined
         outcome instead of an error.
+    stats:
+        Optional caller-owned :class:`MergeStats` filled in place, so a
+        caller can observe the work performed even when the merge raises
+        a conflict mid-way (the kernel charges it either way).
 
     Returns
     -------
@@ -82,13 +158,98 @@ def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
         addr, size = snapshot.addr, snapshot.size
     if addr % PAGE_SIZE or size % PAGE_SIZE:
         raise ValueError("merge range must be page-aligned")
-    stats = MergeStats()
+    if stats is None:
+        stats = MergeStats()
     vpn0 = addr >> PAGE_SHIFT
     vpn1 = vpn0 + (size >> PAGE_SHIFT)
     if not (snapshot.covers(vpn0) and (size == 0 or snapshot.covers(vpn1 - 1))):
         raise ValueError(
             f"merge range {addr:#x}+{size:#x} outside snapshot range"
         )
+    tracked = snapshot.dirty_in(child, vpn0, vpn1)
+    if tracked is not None:
+        _merge_tracked(parent, child, snapshot, sorted(tracked), mode, stats)
+    else:
+        _merge_legacy(parent, child, snapshot, vpn0, vpn1, mode, stats)
+    return stats
+
+
+# -- tracked fast path -----------------------------------------------------
+
+
+def _merge_tracked(parent, child, snapshot, candidates, mode, stats):
+    """O(dirty) enumeration + batched vectorized diff (DESIGN.md)."""
+    stats.tracked = True
+    adopt = []     # (vpn, child_frame): parent unchanged -> whole-frame COW
+    compare = []   # (vpn, child_frame, snap_frame, parent_frame): both dirty
+    for vpn in candidates:
+        stats.pages_scanned += 1
+        snap_frame = snapshot.frame(vpn)
+        child_frame = child.frame(vpn)
+        # Fast path 1: the child never replaced this page -> unchanged.
+        # (Dirty marks are conservative; a later Copy can restore the
+        # snapshot frame, and ledger entries never imply a byte diff.)
+        if child_frame is snap_frame:
+            continue
+        parent_frame = parent.frame(vpn)
+        if parent_frame is snap_frame:
+            # Fast path 2: parent unchanged since the snapshot -> adopt
+            # the child's whole frame copy-on-write, bytes untouched.
+            # The snapshot pins its frames (refcounted), so identity is
+            # exactly the baseline (serial, generation) check: a pinned
+            # frame can never be mutated in place, and within one
+            # allocator tag equality implies the same frame object.
+            # (Comparing raw tags instead would falsely match across
+            # distinct FrameAllocators, whose serial streams collide.)
+            adopt.append((vpn, child_frame))
+        else:
+            compare.append((vpn, child_frame, snap_frame, parent_frame))
+
+    # Stacked (N, 4096) diffs replace the per-page Python loop; batches
+    # of BATCH_PAGES bound the transient memory.  Batches run in
+    # ascending vpn order and each batch checks conflicts before its own
+    # writes, so the raised address is always the lowest conflicting one
+    # (as in the legacy path) and a merge whose both-dirty set fits one
+    # batch — any realistic one — is atomic-on-conflict.
+    for start in range(0, len(compare), BATCH_PAGES):
+        chunk = compare[start:start + BATCH_PAGES]
+        vpns = [item[0] for item in chunk]
+        c_mat = np.stack([_page_array(item[1]) for item in chunk])
+        s_mat = np.stack([_page_array(item[2]) for item in chunk])
+        p_mat = np.stack([_page_array(item[3]) for item in chunk])
+        child_diff = c_mat != s_mat
+        parent_diff = p_mat != s_mat
+        stats.batch_ops += 1
+        stats.pages_diffed += len(chunk)
+        if mode != "override":
+            both = child_diff & parent_diff
+            conflict_mask = both if mode == "strict" else both & (c_mat != p_mat)
+            conflict_rows = conflict_mask.any(axis=1)
+            if conflict_rows.any():
+                row = int(np.argmax(conflict_rows))
+                idx = int(np.flatnonzero(conflict_mask[row])[0])
+                raise MergeConflictError((vpns[row] << PAGE_SHIFT) + idx)
+        take = child_diff if mode != "lenient" else child_diff & ~parent_diff
+        counts = take.sum(axis=1)
+        for row in np.flatnonzero(counts):
+            row = int(row)
+            page, _ = parent._ensure_writable(vpns[row])
+            dst = np.frombuffer(page.data, dtype=np.uint8)
+            dst[take[row]] = c_mat[row][take[row]]
+            stats.bytes_merged += int(counts[row])
+            stats.written_vpns.append(vpns[row])
+
+    for vpn, child_frame in adopt:
+        _adopt(parent, child, child_frame, vpn, stats)
+
+
+# -- legacy path (untracked spaces; ablation baseline) ---------------------
+
+
+def _merge_legacy(parent, child, snapshot, vpn0, vpn1, mode, stats):
+    """The seed algorithm: scan the union of mapped pages, byte-diff every
+    COW-broken page.  Kept bit-compatible as the tracking-disabled
+    baseline; produces the same parent memory as the tracked path."""
     # Only pages mapped somewhere can differ from anything: iterate the
     # union of child/parent/snapshot mappings, never the raw page range.
     candidates = set(child.mapped_vpns_in(vpn0, vpn1))
@@ -104,29 +265,24 @@ def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
         if child_frame is snap_frame:
             continue
 
+        # Without a generation baseline the kernel cannot know whether the
+        # COW break actually changed bytes: it must compare.
         child_arr = _page_array(child_frame)
         snap_arr = _page_array(snap_frame)
         child_diff = child_arr != snap_arr
+        stats.pages_diffed += 1
         if not child_diff.any():
             continue
 
         # Fast path 2: parent still maps the snapshot frame -> parent
         # unchanged; adopt the child's whole frame copy-on-write.
         if parent_frame is snap_frame:
-            if child_frame is None:
-                parent.zero_range(vpn << PAGE_SHIFT, PAGE_SIZE)
-            else:
-                parent.copy_range_from(
-                    child, vpn << PAGE_SHIFT, vpn << PAGE_SHIFT, PAGE_SIZE
-                )
-            stats.pages_adopted += 1
-            stats.bytes_merged += int(child_diff.sum())
+            _adopt(parent, child, child_frame, vpn, stats)
             continue
 
         parent_arr = _page_array(parent_frame)
         parent_diff = parent_arr != snap_arr
         both = child_diff & parent_diff
-        stats.pages_diffed += 1
         if both.any() and mode != "override":
             if mode == "strict":
                 idx = int(np.flatnonzero(both)[0])
@@ -145,4 +301,4 @@ def merge_range(parent, child, snapshot, addr=None, size=None, mode="strict"):
         dst = np.frombuffer(page.data, dtype=np.uint8)
         dst[take] = child_arr[take]
         stats.bytes_merged += nbytes
-    return stats
+        stats.written_vpns.append(vpn)

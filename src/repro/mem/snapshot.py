@@ -3,6 +3,17 @@
 A snapshot records, copy-on-write, the frames mapped over a range of a
 space's address space at the instant of the Snap.  It later serves as the
 *reference* against which Merge computes what the child changed.
+
+Beyond the frame shares themselves, a snapshot captures a *baseline* of
+``(vpn, serial, generation)`` triples and the source space's dirty-ledger
+token (DESIGN.md).  The token lets Merge enumerate candidate pages in
+O(written-since-snap) and lets a repeated Snap over the same range update
+itself in O(dirty) via :meth:`Snapshot.recapture`.  The baseline records
+the content version pinned at each vpn; because a pinned (refcounted)
+frame can never be mutated in place, Merge's ``frame is snap_frame``
+identity test *is* the baseline comparison, performed without touching
+page bytes — :meth:`baseline_tag` exists for introspection, tests, and
+delta tooling, not as a separate merge fast path.
 """
 
 from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
@@ -11,13 +22,23 @@ from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
 class Snapshot:
     """Immutable reference copy of a range of an address space."""
 
-    def __init__(self, addr, size, frames):
+    def __init__(self, addr, size, frames, source=None, token=None):
         #: Base address of the snapshotted range.
         self.addr = addr
         #: Size of the snapshotted range in bytes.
         self.size = size
         #: vpn -> Page (refcounted shares); vpns absent were unmapped.
+        #: Holding the reference *pins* each frame: refs >= 2 forces any
+        #: writer to COW instead of mutating in place, so a pinned
+        #: frame's ``(serial, generation)`` tag is frozen at its
+        #: capture-time value — the frames themselves are the baseline.
         self._frames = frames
+        #: The AddressSpace the snapshot was captured from (identity only;
+        #: used to validate dirty-ledger queries).
+        self._source = source
+        #: The source's dirty-ledger token at capture, or None when the
+        #: source does not track dirty pages.
+        self._token = token
 
     @classmethod
     def capture(cls, space, addr, size):
@@ -29,7 +50,41 @@ class Snapshot:
         for vpn in space.mapped_vpns_in(vpn0, vpn0 + (size >> PAGE_SHIFT)):
             frames[vpn] = space.frame(vpn).incref()
         space.counters.pages_shared += len(frames)
-        return cls(addr, size, frames)
+        return cls(addr, size, frames, source=space, token=space.dirty_token())
+
+    def recapture(self, space):
+        """Re-snapshot the same range of the same space *incrementally*.
+
+        Visits only the pages ``space`` mutated since this snapshot was
+        (re)captured — O(dirty), not O(mapped) — updating the pinned
+        frames in place.  Returns ``(repinned, walked)``: pages whose
+        frame was re-pinned (page_map-equivalent work) and ledger
+        entries enumerated (page_track-equivalent work; dropping the pin
+        of a now-unmapped page costs only the walk).  Returns None when
+        the incremental path is unavailable (different space, or no
+        dirty ledger) and the caller should do a full capture.
+        """
+        if space is not self._source:
+            return None
+        dirty = space.dirty_since(self._token)
+        if dirty is None:
+            return None
+        vpn0 = self.addr >> PAGE_SHIFT
+        vpn1 = vpn0 + (self.size >> PAGE_SHIFT)
+        repinned = 0
+        for vpn in dirty:
+            if not vpn0 <= vpn < vpn1:
+                continue
+            old = self._frames.pop(vpn, None)
+            if old is not None:
+                old.decref()
+            frame = space.frame(vpn)
+            if frame is not None:
+                self._frames[vpn] = frame.incref()
+                space.counters.pages_shared += 1
+                repinned += 1
+        self._token = space.dirty_token()
+        return repinned, len(dirty)
 
     def frame(self, vpn):
         """The frame snapshotted at ``vpn``, or None if it was unmapped."""
@@ -38,6 +93,28 @@ class Snapshot:
     def frame_vpns_in(self, vpn0, vpn1):
         """Vpns of retained frames inside ``[vpn0, vpn1)``."""
         return [v for v in self._frames if vpn0 <= v < vpn1]
+
+    def baseline_tag(self, vpn):
+        """The ``(serial, generation)`` content tag snapshotted at ``vpn``,
+        or None if the page was unmapped at capture.  Read straight off
+        the pinned frame — pinning freezes the tag (see ``_frames``)."""
+        frame = self._frames.get(vpn)
+        return frame.tag() if frame is not None else None
+
+    def dirty_in(self, child, vpn0, vpn1):
+        """Vpns in ``[vpn0, vpn1)`` that ``child`` mutated since capture.
+
+        Returns None when the dirty-ledger fast path is unavailable —
+        ``child`` is not the space this snapshot was captured from, or it
+        does not track dirty pages — in which case Merge falls back to
+        scanning the union of mapped pages.
+        """
+        if child is not self._source:
+            return None
+        dirty = child.dirty_since(self._token)
+        if dirty is None:
+            return None
+        return [vpn for vpn in dirty if vpn0 <= vpn < vpn1]
 
     def covers(self, vpn):
         """True if ``vpn`` lies inside the snapshotted range."""
@@ -53,6 +130,8 @@ class Snapshot:
         for page in self._frames.values():
             page.decref()
         self._frames = {}
+        self._source = None
+        self._token = None
 
     def __repr__(self):
         return (

@@ -53,20 +53,57 @@ class Checkpointer:
         #: tag -> freezer-child number.
         self._tags = {}
         self._next = 1
+        #: tag -> pages the child dirtied since its previous save (None
+        #: for a first/full save or when the ledger is unavailable).
+        #: This is the incremental-checkpoint size a delta-encoded
+        #: freezer would ship (DESIGN.md).
+        self.delta_pages = {}
+        #: child_slot -> dirty-ledger token at the last save.
+        self._save_tokens = {}
         # Materialize the freezer space (never started; pure storage).
         g.put(freezer_slot)
+
+    def _record_delta(self, child_slot, tag):
+        """Record the dirty delta since the previous save of this slot."""
+        child = self.g.space.children.get(child_slot)
+        if child is None:
+            return None
+        aspace = child.addrspace
+        if not aspace.tracks_dirty():
+            self.delta_pages[tag] = None
+            return None
+        prev = self._save_tokens.get(child_slot)
+        delta = None
+        # Tokens are bare clock values: only honor one minted by this
+        # very address space (a Tree-copy or restore installs a fresh
+        # clone with a fresh clock, making old tokens meaningless).
+        if prev is not None and prev[0] is aspace:
+            dirty = aspace.dirty_since(prev[1])
+            delta = len(dirty) if dirty is not None else None
+            if delta is not None:
+                # The ledger walk that sizes the delta.
+                self.g.kcharge(delta * self.g.cost.page_track)
+        self._save_tokens[child_slot] = (aspace, aspace.dirty_token())
+        self.delta_pages[tag] = delta
+        return delta
 
     def save(self, child_slot, tag):
         """Freeze the subtree at ``child_slot`` under ``tag``.
 
         The child must be stopped (Ret, trap, instruction limit, or
         exit); overwrites any previous checkpoint with the same tag.
+        Records the dirty-page delta since the previous save of the same
+        slot in :attr:`delta_pages`.
         """
         tagno = self._tags.get(tag)
         if tagno is None:
             tagno = self._next
             self._next += 1
         self.g.put(self.freezer_slot, tree=(child_slot, tagno))
+        # Bookkeeping only after the Tree-copy succeeded: a failed save
+        # (e.g. the child still running) must not advance the token or
+        # record a delta for a checkpoint that never existed.
+        self._record_delta(child_slot, tag)
         self._tags[tag] = tagno
         return tag
 
@@ -76,6 +113,10 @@ class Checkpointer:
         if tagno is None:
             raise RuntimeApiError(f"no checkpoint tagged {tag!r}")
         self.g.get(self.freezer_slot, tree=(tagno, child_slot))
+        # The restored child is a fresh clone with a fresh write clock;
+        # the old token would misread as "nothing dirty".  Drop it so
+        # the next save of this slot is a full one.
+        self._save_tokens.pop(child_slot, None)
 
     def drop(self, tag):
         """Discard a checkpoint (frees its copy-on-write references)."""

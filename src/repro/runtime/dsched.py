@@ -23,6 +23,7 @@ deterministic-scheduling overhead of blackscholes in Figure 7.
 from repro.common.errors import DeadlockError, RuntimeApiError
 from repro.kernel.traps import Trap
 from repro.mem.layout import SHARED_BASE, SHARED_END
+from repro.runtime.threads import image_map_cost, image_resnap_cost
 
 #: Scheduler-call Ret status; the operation is in r1, its argument in r2.
 ST_SCHED = 0x7D01
@@ -175,7 +176,12 @@ class DetScheduler:
                         "entry": _det_thread_entry,
                         "args": (t.entry, t.tid, t.args),
                     }
-                g.kcharge(g.cost.fork_image_pages * g.cost.page_map)
+                # First dispatch COW-maps the whole image; each further
+                # quantum only re-snaps it (incremental under tracking).
+                if regs is not None:
+                    g.kcharge(image_map_cost(g))
+                else:
+                    g.kcharge(image_resnap_cost(g))
                 g.put(
                     t.childno,
                     regs=regs,

@@ -28,6 +28,37 @@ DEFAULT_SHARE = (SHARED_BASE, SHARED_END - SHARED_BASE)
 ST_BARRIER = 0x7E01
 
 
+def image_map_cost(g):
+    """Cycles to COW-map the program image's pages at a fresh fork.
+
+    Copying the image's page mappings (text/data/runtime) is a fixed
+    per-fork cost beyond the workload's own pages, independent of dirty
+    tracking — the mappings must exist either way."""
+    return g.cost.fork_image_pages * g.cost.page_map
+
+
+def image_resnap_cost(g):
+    """Cycles to refresh a thread's reference snapshot over the image.
+
+    With the dirty ledger the kernel re-snaps incrementally
+    (Snapshot.recapture): unchanged image pages cost one ledger probe,
+    not a fresh COW mapping."""
+    cost = g.cost
+    per_page = cost.page_track if g.machine.dirty_tracking else cost.page_map
+    return cost.fork_image_pages * per_page
+
+
+def image_scan_cost(g):
+    """Cycles Merge spends deciding the image pages are unchanged.
+
+    The dirty ledger never visits clean pages, so with tracking the
+    image costs a ledger walk (page_track) instead of a PTE scan
+    (page_scan) per page."""
+    cost = g.cost
+    per_page = cost.page_track if g.machine.dirty_tracking else cost.page_scan
+    return cost.fork_image_pages * per_page
+
+
 class ThreadFault(RuntimeApiError):
     """A joined thread stopped on a fault trap."""
 
@@ -40,9 +71,7 @@ class ThreadFault(RuntimeApiError):
 def thread_fork(g, childno, entry, args=(), share=DEFAULT_SHARE, limit=None):
     """Fork a child thread: Copy + Snap + Regs + Start in one Put (§4.4)."""
     addr, size = share
-    # Copying the program image's page mappings (text/data/runtime) is a
-    # fixed per-fork cost beyond the workload's own pages.
-    g.kcharge(g.cost.fork_image_pages * g.cost.page_map)
+    g.kcharge(image_map_cost(g))
     g.put(
         childno,
         regs={"entry": entry, "args": tuple(args)},
@@ -61,7 +90,7 @@ def thread_join(g, childno, merge=True):
     :class:`~repro.common.errors.MergeConflictError` — at the join of the
     second conflicting child, exactly as in the paper's §2.2 example.
     """
-    g.kcharge(g.cost.fork_image_pages * g.cost.page_scan)
+    g.kcharge(image_scan_cost(g))
     view = g.get(childno, regs=True, merge=merge)
     trap = view["trap"]
     if trap not in (Trap.EXIT, Trap.RET):
@@ -126,7 +155,7 @@ class ThreadGroup:
             at_barrier = []
             for tid in sorted(self._live):
                 childno = self._live[tid]
-                self.g.kcharge(self.g.cost.fork_image_pages * self.g.cost.page_scan)
+                self.g.kcharge(image_scan_cost(self.g))
                 view = self.g.get(childno, regs=True, merge=True)
                 trap = view["trap"]
                 if trap is Trap.EXIT:
@@ -138,7 +167,8 @@ class ThreadGroup:
                     raise ThreadFault(childno, trap, view["trap_info"])
             for tid in at_barrier:
                 childno = self._live[tid]
-                self.g.kcharge(self.g.cost.fork_image_pages * self.g.cost.page_map)
+                # Re-snap over the image is incremental under tracking.
+                self.g.kcharge(image_resnap_cost(self.g))
                 self.g.put(
                     childno,
                     copy=(addr, size),

@@ -112,6 +112,87 @@ def test_written_pages_refetched_after_change():
         assert m.pages_fetched == 3
 
 
+def test_writable_view_keeps_writer_node_cache_coherent():
+    """Writing through a zero-copy view must register the post-write
+    content tag at the writer's node: reading your own data is free."""
+    def main(g):
+        view = g.view(ADDR, 8, write=True)
+        view[:] = 7
+        g.read(ADDR, 8)
+
+    with Machine(nnodes=2) as m:
+        m.run(main)
+        assert m.pages_fetched == 0
+
+
+def test_read_view_demand_zero_is_locally_cached():
+    """Regression: a read-only view that demand-zeroes a page creates
+    the frame locally — the next access must not be billed as a remote
+    fetch of data that never crossed the wire."""
+    def main(g):
+        g.view(ADDR, 8)          # unmapped -> demand-zero frame
+        g.read(ADDR, 8)
+
+    with Machine(nnodes=2) as m:
+        m.run(main)
+        assert m.pages_fetched == 0
+
+
+def test_merged_pages_cached_at_merging_node():
+    """Merge mutates parent frames in place; the merging node must not
+    be charged a fetch for pages it just produced."""
+    from repro.mem.layout import SHARED_BASE
+    from repro.runtime.threads import thread_fork, thread_join
+
+    def main(g):
+        g.write(SHARED_BASE, b"a" * PAGE_SIZE)
+        g.write(SHARED_BASE + PAGE_SIZE, b"b" * PAGE_SIZE)
+
+        def worker(g2):
+            g2.store(SHARED_BASE, 123)        # page 0: adoption
+            g2.store(SHARED_BASE + PAGE_SIZE, 5)
+
+        thread_fork(g, 1, worker)
+        g.store(SHARED_BASE + PAGE_SIZE + 8, 9)   # page 1: both dirty
+        thread_join(g, 1)
+        before = g.machine.pages_fetched
+        g.read(SHARED_BASE, 2 * PAGE_SIZE)
+        return g.machine.pages_fetched - before
+
+    with Machine(nnodes=2) as m:
+        assert m.run(main).r0 == 0
+
+
+def test_merge_does_not_cache_unmerged_parent_pages():
+    """Only pages the merge actually wrote get free cache residency at
+    the merging node; a parent page freshened on another node must still
+    cross the wire when read here."""
+    from repro.mem.layout import SHARED_BASE
+    from repro.kernel.kernel import child_ref as ref
+
+    def worker(g):
+        g.store(SHARED_BASE, 7)           # dirties page 0 only
+        return 0
+
+    def main(g):
+        g.write(SHARED_BASE, b"a" * PAGE_SIZE)
+        g.write(SHARED_BASE + PAGE_SIZE, b"b" * PAGE_SIZE)
+        child = ref(1, node=1)
+        g.put(child, regs={"entry": worker},
+              copy=(SHARED_BASE, 2 * PAGE_SIZE),
+              snap=(SHARED_BASE, 2 * PAGE_SIZE), start=True)
+        g.get(0x50, regs=True)            # migrate home (node 0)
+        # Freshen page 1 at node 0: its new tag lives only there.
+        g.write(SHARED_BASE + PAGE_SIZE, b"c" * PAGE_SIZE)
+        g.get(child, regs=True, merge=True)   # merge on node 1
+        before = g.machine.pages_fetched
+        g.read(SHARED_BASE + PAGE_SIZE, 8)    # reading page 1 on node 1
+        return g.machine.pages_fetched - before
+
+    with Machine(nnodes=2) as m:
+        assert m.run(main).r0 == 1
+
+
 def test_migration_charges_latency_in_makespan():
     def worker(g):
         g.work(1000)

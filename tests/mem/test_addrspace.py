@@ -9,6 +9,7 @@ from repro.mem import (
     PERM_NONE,
     PERM_R,
     PERM_RW,
+    PERM_W,
     VA_SIZE,
 )
 
@@ -114,6 +115,36 @@ def test_permission_fault_on_write_to_readonly(space):
     assert space.read(0x1000, 2, check_perm=True) == b"ro"
 
 
+def test_write_requires_the_writable_bit_specifically(space):
+    """Regression: the write check tests PERM_W explicitly — a page with
+    any permission lacking the W bit must reject writes, and a W-only
+    page must accept them while rejecting reads."""
+    space.write(0x1000, b"ro")
+    for perm in (PERM_NONE, PERM_R):
+        space.set_perm(0x1000, PAGE_SIZE, perm)
+        with pytest.raises(PermissionFault):
+            space.write(0x1000, b"xx", check_perm=True)
+    space.set_perm(0x1000, PAGE_SIZE, PERM_W)
+    space.write(0x1000, b"ok", check_perm=True)      # write-only: allowed
+    with pytest.raises(PermissionFault):
+        space.read(0x1000, 2, check_perm=True)
+    assert PERM_RW == PERM_R | PERM_W
+
+
+def test_copy_range_applies_perm_to_already_shared_pages(space):
+    """Regression: Copy-with-Perm must update permissions even on pages
+    where source and destination already share the identical frame."""
+    src = AddressSpace()
+    src.write(0x1000, b"shared")
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE)
+    assert space.frame(1) is src.frame(1)
+    # Second copy of the same range, now requesting read-only.
+    space.copy_range_from(src, 0x1000, 0x1000, PAGE_SIZE, perm=PERM_R)
+    assert space.perm(1) == PERM_R
+    with pytest.raises(PermissionFault):
+        space.write(0x1000, b"x", check_perm=True)
+
+
 def test_perm_not_checked_without_flag(space):
     space.write(0x1000, b"data")
     space.set_perm(0x1000, PAGE_SIZE, PERM_NONE)
@@ -151,3 +182,17 @@ def test_as_array_multi_page_readonly_copy(space):
     assert len(arr) == 2 * PAGE_SIZE
     with pytest.raises(ValueError):
         space.as_array(0x1800, PAGE_SIZE, writable=True)
+
+
+def test_writable_view_respects_page_permissions(space):
+    """Regression: a zero-copy writable view is a write — it must honor
+    the PERM_W bit exactly like AddressSpace.write does."""
+    space.write(0x1000, b"protected")
+    space.set_perm(0x1000, PAGE_SIZE, PERM_R)
+    with pytest.raises(PermissionFault):
+        space.as_array(0x1000, 8, writable=True, check_perm=True)
+    space.set_perm(0x1000, PAGE_SIZE, PERM_NONE)
+    with pytest.raises(PermissionFault):
+        space.as_array(0x1000, 8, writable=False, check_perm=True)
+    # Unchecked access (kernel-internal use) still works.
+    assert len(space.as_array(0x1000, 8)) == 8

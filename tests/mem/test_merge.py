@@ -28,6 +28,20 @@ def test_merge_child_change_propagates():
     child.write(0x1000, b"bbbb")
     stats = merge_range(parent, child, snap)
     assert parent.read(0x1000, 4) == b"bbbb"
+    # Parent unchanged -> the whole frame is adopted copy-on-write: a
+    # remap, no bytes copied.
+    assert stats.pages_adopted == 1
+    assert stats.bytes_merged == 0
+
+
+def test_merge_counts_bytes_on_both_sides_dirty_pages():
+    """When the parent also changed, only differing bytes are written."""
+    parent, child, snap = fork_pair(init=b"0123456789")
+    parent.write(0x1000 + 8, b"PP")     # parent changes bytes 8-9
+    child.write(0x1000, b"bbbb")        # child changes bytes 0-3
+    stats = merge_range(parent, child, snap)
+    assert parent.read(0x1000, 10) == b"bbbb4567PP"
+    assert stats.pages_diffed == 1
     assert stats.bytes_merged == 4
 
 

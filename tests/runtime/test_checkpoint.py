@@ -181,3 +181,65 @@ def test_rollback_after_injected_crash():
     crashed, final = run(main).r0
     assert crashed is Trap.EXC
     assert final == 4
+
+
+def test_delta_accounting_tracks_dirty_pages_between_saves():
+    def main(g):
+        g.put(1, regs={"entry": _phased_counter, "args": (5,)}, start=True)
+        ckpt = Checkpointer(g)
+        g.get(1)                        # counter = 1
+        ckpt.save(1, "e0")
+        g.put(1, start=True)
+        g.get(1)                        # counter = 2 (one page dirtied)
+        ckpt.save(1, "e1")
+        return (ckpt.delta_pages["e0"], ckpt.delta_pages["e1"])
+
+    first, second = run(main).r0
+    assert first is None                # first save of the slot: full
+    assert second == 1                  # exactly the counter's page
+
+
+def test_delta_accounting_resets_after_restore():
+    """Regression: restore() installs a fresh clone with a fresh write
+    clock, so the pre-restore token must be dropped — the next save is
+    a full one, not a bogus zero-page delta."""
+    def main(g):
+        g.put(1, regs={"entry": _phased_counter, "args": (5,)}, start=True)
+        ckpt = Checkpointer(g)
+        g.get(1)
+        ckpt.save(1, "e0")
+        g.put(1, start=True)
+        g.get(1)
+        ckpt.save(1, "e1")
+        ckpt.restore(1, "e0")
+        g.put(1, start=True)
+        g.get(1)                        # restored child dirties its page
+        ckpt.save(1, "e2")
+        return repr(ckpt.delta_pages["e2"])
+
+    assert run(main).r0 == "None"
+
+
+def test_failed_save_leaves_delta_bookkeeping_intact():
+    """Regression: a save that fails (child still running) must not
+    advance the delta token or record a delta for a checkpoint that was
+    never taken."""
+    from repro.common.errors import KernelError
+
+    def main(g):
+        g.put(1, regs={"entry": _phased_counter, "args": (5,)}, start=True)
+        ckpt = Checkpointer(g)
+        g.get(1)                        # counter = 1
+        ckpt.save(1, "e0")
+        g.put(1, start=True)            # child READY again
+        try:
+            ckpt.save(1, "bad")         # Tree-copy of a running space
+        except KernelError:
+            pass
+        g.get(1)                        # counter = 2
+        ckpt.save(1, "e1")
+        return ("bad" in ckpt.delta_pages, ckpt.delta_pages["e1"])
+
+    bad_recorded, delta = run(main).r0
+    assert not bad_recorded
+    assert delta == 1
