@@ -2,13 +2,20 @@
 
 Paper shape (log-log): md5-tree scales well with recursive distribution;
 md5-circuit (serial migration circuit) trails at high node counts;
-matmult-tree levels off at two nodes because of the volume of matrix
-data the simplistic page-copying protocol moves.
+matmult-tree is bounded by the volume of matrix data the protocol moves.
+Under the paper's simplistic full-ship/per-page protocol
+(``matmult-naive``) it levels off at two nodes exactly as §6.3 reports;
+the delta+batched transport lifts the plateau but matmult remains
+data-movement-bound — far from md5's near-linear scaling (DESIGN.md
+records this deliberate divergence).
 """
+
+import pytest
 
 from repro.bench import figures
 
 
+@pytest.mark.slow_cluster
 def test_fig11_cluster_speedup(once):
     series = once(figures.figure11)
     print()
@@ -16,7 +23,17 @@ def test_fig11_cluster_speedup(once):
         "Figure 11: speedup vs single-node local execution", series))
     assert series["md5-tree"][32] > 15.0
     assert series["md5-tree"][32] > series["md5-circuit"][32]
-    # matmult-tree peaks at ~2 nodes and never scales past it.
+    # The paper's protocol: matmult-tree peaks at ~2 nodes and never
+    # scales past it.
+    naive_peak = max(series["matmult-naive"].values())
+    assert series["matmult-naive"][2] >= 0.9 * naive_peak
+    assert series["matmult-naive"][32] < 2.0
+    # The rebuilt transport: better everywhere, still data-bound — the
+    # plateau is low, early (<= 4 nodes), and decays at scale.
     peak = max(series["matmult-tree"].values())
-    assert series["matmult-tree"][2] >= 0.9 * peak
-    assert series["matmult-tree"][32] < 2.0
+    assert peak < 3.0
+    assert max(series["matmult-tree"], key=series["matmult-tree"].get) <= 4
+    assert series["matmult-tree"][32] < peak
+    # Delta+batched shipping dominates the naive protocol at every size.
+    for nodes, naive in series["matmult-naive"].items():
+        assert series["matmult-tree"][nodes] >= naive

@@ -7,9 +7,12 @@ round-trip timing and retransmission framing to Determinator's protocol
 changes results by less than 2%.
 """
 
+import pytest
+
 from repro.bench import figures
 
 
+@pytest.mark.slow_cluster
 def test_fig12_distributed_baseline(once):
     series = once(figures.figure12)
     print()

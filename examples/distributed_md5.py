@@ -15,6 +15,7 @@ import hashlib
 
 from repro.bench.cluster_workloads import md5_tree_main, run_cluster
 from repro.bench.workloads.md5 import ALPHABET, candidate
+from repro.cluster import NetworkStats
 
 LENGTH = 4
 
@@ -26,6 +27,7 @@ if __name__ == "__main__":
           f"md5(...)={digest[:16]}...\n")
     print(f"{'nodes':>6} {'virtual time':>16} {'speedup':>9}  found")
     base = None
+    machine = None
     for nodes in (1, 2, 4, 8, 16):
         makespan, machine, found = run_cluster(md5_tree_main(LENGTH), nodes)
         if base is None:
@@ -34,3 +36,8 @@ if __name__ == "__main__":
         assert found == target
     print("\nsame answer on every cluster size — distribution is")
     print("semantically transparent (paper §3.3).")
+
+    stats = NetworkStats(machine)
+    print(f"\nnetwork at 16 nodes: {stats.summary()}\n")
+    print("per-link traffic (delta migrations + batched demand fetches):")
+    print(stats.link_table())

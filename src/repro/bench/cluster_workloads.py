@@ -32,6 +32,20 @@ from repro.mem.page import PAGE_SIZE
 
 SHARE = (SHARED_BASE, 0x1000_0000)  # 256 MB window is plenty for these
 
+#: Where the md5 target digest lives in the share: real shared input
+#: data that rides the cluster transport to every worker (one page).
+DIGEST_ADDR = SHARED_BASE + 0x1000
+
+
+def _publish_digest(g, digest):
+    """Write the search target into shared memory for the workers."""
+    g.write(DIGEST_ADDR, digest.encode().ljust(PAGE_SIZE, b"\x00"))
+
+
+def _read_digest(g):
+    """Read the search target back out of the (copied) share."""
+    return g.read(DIGEST_ADDR, 32).decode()
+
 
 def _fork_on(g, local, node, entry, args):
     ref = child_ref(local, node=node)
@@ -56,8 +70,14 @@ def _md5_params(length=4):
     return length, hashlib.md5(target.encode()).hexdigest()
 
 
-def _md5_node_worker(g, start, count, length, digest):
-    """Per-node worker: scan a contiguous candidate range (real MD5)."""
+def _md5_node_worker(g, start, count, length):
+    """Per-node worker: scan a contiguous candidate range (real MD5).
+
+    The target digest is *shared input data*, read out of the worker's
+    copy of the share — it reaches remote nodes over the cluster
+    transport like any other page, not through a register side channel.
+    """
+    digest = _read_digest(g)
     g.alloc_work(count * CYCLES_PER_CANDIDATE)
     for index in range(start, start + count):
         if hashlib.md5(candidate(index, length).encode()).hexdigest() == digest:
@@ -67,6 +87,7 @@ def _md5_node_worker(g, start, count, length, digest):
 
 def md5_circuit(g, nnodes, length, digest):
     """Master migrates serially around the node circuit (§6.3)."""
+    _publish_digest(g, digest)
     space = len(ALPHABET) ** length
     per = (space + nnodes - 1) // nnodes
     refs = []
@@ -75,7 +96,7 @@ def md5_circuit(g, nnodes, length, digest):
         count = max(0, min(per, space - start))
         refs.append(
             _fork_on(g, 1, node, _md5_node_worker,
-                     (start, count, length, digest))
+                     (start, count, length))
         )
     found = 0
     for ref in refs:          # retrace the same circuit to collect
@@ -85,7 +106,7 @@ def md5_circuit(g, nnodes, length, digest):
     return candidate(found, length)
 
 
-def _md5_tree_worker(g, node_lo, node_hi, start, count, length, digest):
+def _md5_tree_worker(g, node_lo, node_hi, start, count, length):
     """Tree worker on node ``node_lo``: split nodes, fork two subtrees,
     search the local share."""
     nodes = node_hi - node_lo
@@ -95,22 +116,23 @@ def _md5_tree_worker(g, node_lo, node_hi, start, count, length, digest):
         right_count = count - left_count
         left = _fork_on(
             g, 2, node_lo, _md5_tree_worker,
-            (node_lo, mid, start, left_count, length, digest))
+            (node_lo, mid, start, left_count, length))
         right = _fork_on(
             g, 3, mid, _md5_tree_worker,
-            (mid, node_hi, start + left_count, right_count, length, digest))
+            (mid, node_hi, start + left_count, right_count, length))
         # Children recurse; this space searches nothing itself.
         hit_l = _join(g, left)
         hit_r = _join(g, right)
         return hit_l or hit_r
-    return _md5_node_worker(g, start, count, length, digest)
+    return _md5_node_worker(g, start, count, length)
 
 
 def md5_tree(g, nnodes, length, digest):
     """Recursive binary-tree distribution of the same search."""
+    _publish_digest(g, digest)
     space = len(ALPHABET) ** length
     ref = _fork_on(g, 1, 0, _md5_tree_worker,
-                   (0, nnodes, 0, space, length, digest))
+                   (0, nnodes, 0, space, length))
     hit = _join(g, ref)
     return candidate((hit or 1) - 1, length)
 
@@ -155,14 +177,17 @@ def matmult_tree(g, nnodes, n, seed):
 # Runners
 # ---------------------------------------------------------------------------
 
-def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False):
+def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
+                ship_mode="delta"):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
-    ``(makespan, machine)``; the makespan uses one CPU per node, as in
-    the paper's cluster (§6.3).
+    ``(makespan, machine, value)``; the makespan uses one CPU per node,
+    as in the paper's cluster (§6.3).  ``ship_mode="full"`` selects the
+    naive every-page-every-hop migration protocol (ablation baseline).
     """
-    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode)
+    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
+                      ship_mode=ship_mode)
 
     def main(g):
         return entry_builder(g, nnodes)

@@ -1,18 +1,28 @@
-"""Cluster-level conveniences over the kernel's space migration (§3.3).
+"""Cluster distribution: message transport + operator conveniences (§3.3).
 
-The migration mechanism itself lives in the kernel (node fields in child
-numbers, demand paging, the read-only page cache); this package adds the
-operator-facing layer:
+The kernel decides *what* crosses nodes (node fields in child numbers,
+migration deltas, demand paging against the tag cache); this package
+owns *how* it crosses and what that costs:
 
+* :class:`~repro.cluster.transport.Transport` — the simulated
+  interconnect: typed messages (MIGRATE, PAGE_REQ, PAGE_BATCH, ACK)
+  over per-link latency/bandwidth channels, with migration deltas and
+  demand fetches coalesced into batched scatter/gather messages;
 * :class:`Cluster` — construct, run and time a multi-node machine with
   one call;
-* :class:`NetworkStats` — per-node traffic accounting derived from the
-  run (messages, pages, bytes, estimated wire time);
+* :class:`NetworkStats` — traffic accounting derived from the
+  transport's live counters: migration hops, page/byte/message totals,
+  and a per-link breakdown (``NetworkStats.link_table()``) of messages,
+  pages, bytes, and wire occupancy per directed channel;
 * :func:`sweep_nodes` — run the same program across cluster sizes and
   collect the speedup series (the Figure 11 primitive).
 """
 
 from repro.cluster.network import NetworkStats
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+from repro.cluster.transport import LinkStats, MsgType, Transport
 
-__all__ = ["NetworkStats", "Cluster", "ClusterResult", "sweep_nodes"]
+__all__ = [
+    "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
+    "Transport", "MsgType", "LinkStats",
+]

@@ -37,7 +37,7 @@ class Cluster:
     """
 
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
-                 dirty_tracking=True):
+                 dirty_tracking=True, ship_mode="delta"):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -46,13 +46,16 @@ class Cluster:
         #: cache keys on ``(serial, generation)`` content tags, so an
         #: unchanged frame revisiting a node never crosses the wire twice.
         self.dirty_tracking = dirty_tracking
+        #: Migration shipping policy ("delta" or "full"); see
+        #: :class:`repro.cluster.transport.Transport`.
+        self.ship_mode = ship_mode
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
         :class:`ClusterResult`.  Raises if the program faults."""
         machine = Machine(
             cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode,
-            dirty_tracking=self.dirty_tracking,
+            dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
         )
         with machine:
             result = machine.run(entry, args)
@@ -66,18 +69,23 @@ class Cluster:
 
 
 def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
-                check_value=True):
+                check_value=True, tcp_mode=False, dirty_tracking=True,
+                ship_mode="delta"):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
     ``check_value`` (default) every size must compute the same value —
-    distribution is semantically transparent (§3.3).
+    distribution is semantically transparent (§3.3).  The machine
+    configuration knobs (``tcp_mode``, ``dirty_tracking``,
+    ``ship_mode``) apply to *every* size, so sweeps compare like with
+    like.
     """
     series = {}
     base_time = None
     base_value = None
     for nnodes in node_counts:
-        cluster = Cluster(nnodes, cpus_per_node, cost)
+        cluster = Cluster(nnodes, cpus_per_node, cost, tcp_mode=tcp_mode,
+                          dirty_tracking=dirty_tracking, ship_mode=ship_mode)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

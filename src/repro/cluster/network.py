@@ -1,10 +1,13 @@
 """Network accounting for cluster runs.
 
-The kernel charges migration and demand-paging costs as it simulates;
-this module reconstructs operator-readable statistics from a finished
-machine: how many pages crossed the wire, where they landed, and what
-the protocol's (modelled) wire time was — the numbers one would read off
-a switch to explain why matmult-tree levels off at two nodes (§6.3).
+Every cross-node kernel path routes through the machine's
+:class:`~repro.cluster.transport.Transport`, which counts messages,
+bytes, pages, and serialization cycles per directed link as the
+simulation runs.  This module turns those live counters into the
+operator-readable statistics one would read off a switch to explain why
+matmult-tree levels off at two nodes (§6.3) — no post-hoc trace rescans:
+migration hops and per-link totals are maintained incrementally by the
+transport itself.
 """
 
 from repro.mem.page import PAGE_SIZE
@@ -15,43 +18,67 @@ class NetworkStats:
 
     def __init__(self, machine):
         self.machine = machine
-        cost = machine.cost
-        #: Pages demand-fetched across nodes over the whole run.
+        transport = machine.transport
+        #: Pages that crossed the wire over the whole run (migration
+        #: deltas plus demand fetches).
         self.pages_fetched = machine.pages_fetched
-        #: Payload bytes those fetches moved.
+        #: ... split by protocol path.
+        self.pages_shipped = transport.pages_shipped
+        self.pages_pulled = transport.pages_pulled
+        #: Page payload bytes those transfers moved.
         self.bytes_moved = self.pages_fetched * PAGE_SIZE
+        #: Total wire bytes including message framing, scatter/gather
+        #: headers, and control traffic (PAGE_REQ/ACK).
+        self.wire_bytes = transport.bytes_total
+        #: Messages of any type, and PAGE_BATCH messages specifically.
+        self.messages = transport.messages
+        self.batches = transport.batches
+        #: Migration hops (one MIGRATE message each), counted
+        #: incrementally by the transport as they happen.
+        self.migrations = transport.migrations
+        #: Serialization cycles summed over every link and message type
+        #: (including fire-and-forget ACKs, which never stall a space —
+        #: so this reads higher than the scheduler's per-link
+        #: ``ScheduleResult.link_busy`` occupancy).
+        self.wire_cycles = transport.busy_total
+        #: (src, dst) -> per-link breakdown (messages, bytes, pages,
+        #: occupancy, message-type counts).
+        self.per_link = {
+            link: stats.as_dict()
+            for link, stats in sorted(transport.links.items())
+        }
         #: node -> number of distinct *frames* currently cached there
         #: (the cache keeps only each frame's newest generation, so dead
         #: versions don't count).
         self.cached_per_node = {
             node: len(serials) for node, serials in machine.node_cache.items()
         }
-        #: Migration hops (segments whose node differs from the previous
-        #: segment of the same space).
-        self.migrations = self._count_migrations(machine.trace)
-        #: Modelled wire time attributable to page fetches.
-        self.fetch_wire_cycles = self.pages_fetched * cost.message(
-            PAGE_SIZE, tcp=machine.tcp_mode
-        )
 
-    @staticmethod
-    def _count_migrations(trace):
-        last_node = {}
-        hops = 0
-        for seg in trace.segments:
-            prev = last_node.get(seg.uid)
-            if prev is not None and prev != seg.node:
-                hops += 1
-            last_node[seg.uid] = seg.node
-        return hops
+    def link_table(self):
+        """Aligned per-link rows: traffic and occupancy of each channel."""
+        if not self.per_link:
+            return "(no cross-node traffic)"
+        lines = [f"{'link':>8} {'msgs':>6} {'pages':>7} {'KiB':>9} "
+                 f"{'busy cycles':>13}"]
+        for (src, dst), stats in self.per_link.items():
+            lines.append(
+                f"{f'{src}->{dst}':>8} {stats['messages']:>6} "
+                f"{stats['pages']:>7} {stats['bytes_sent'] / 1024:>9.1f} "
+                f"{stats['busy_cycles']:>13,}"
+            )
+        return "\n".join(lines)
 
     def summary(self):
         """One-paragraph human-readable summary."""
         return (
             f"{self.migrations} migration hops, "
             f"{self.pages_fetched:,} pages fetched "
-            f"({self.bytes_moved / 1024:.0f} KiB), "
-            f"{self.fetch_wire_cycles:,} wire cycles, "
+            f"({self.pages_shipped:,} shipped with migrations, "
+            f"{self.pages_pulled:,} demand-pulled; "
+            f"{self.bytes_moved / 1024:.0f} KiB payload in "
+            f"{self.messages:,} messages), "
+            f"{self.wire_cycles:,} wire cycles over "
+            f"{len(self.per_link)} links, "
             f"cache population: {dict(sorted(self.cached_per_node.items()))}"
         )
 

@@ -1,0 +1,260 @@
+"""Message-level cluster transport (paper §3.3, rebuilt as a subsystem).
+
+The seed charged cross-node work as scalars: a flat ``migrate_base +
+net_msg`` per hop and one independent round trip per demand-fetched
+page.  This module replaces that with an explicit protocol over per-link
+channels; every cross-node kernel path (migrate, remote fork/join's
+copy, demand fetch, merge) now routes its traffic through one
+:class:`Transport` owned by the machine.
+
+Message types
+-------------
+
+``MIGRATE``
+    Carries a space's register file plus its address-space summary
+    (``cost.migrate_bytes``), followed by the *delta* of its pages.
+``PAGE_BATCH``
+    A scatter/gather message moving up to ``cost.msg_batch`` pages
+    (each ``PAGE_SIZE + cost.page_hdr`` bytes on the wire), instead of
+    one message per page.
+``PAGE_REQ``
+    A demand-fetch request naming the wanted pages (``cost.msg_ctrl`` +
+    8 bytes per page), sent to the node that produced their newest
+    content.
+``ACK``
+    Completion notice on the reverse link.  ACKs are fire-and-forget:
+    they occupy wire bytes/messages in the accounting but never delay
+    the sending space.
+
+Links and time
+--------------
+
+A link is the ordered pair ``(src_node, dst_node)``.  Each message's
+serialization cost is ``cost.message(nbytes)`` (framing + bandwidth,
+TCP surcharge when the machine runs in ``tcp_mode``).  Transfers that
+stall a space are recorded as :meth:`~repro.timing.trace.Trace.link_edge`
+trace edges, so the scheduler makes overlapping transfers on one link
+contend while leaving the CPUs free — wire time is channel occupancy,
+not compute.
+
+Delta shipping
+--------------
+
+A migrating space's memory image moves with it.  In ``ship_mode="full"``
+every mapped page crosses on every hop (the naive protocol, kept as the
+ablation baseline).  In ``ship_mode="delta"`` the kernel enumerates
+candidates from the dirty ledger via the space's per-node visit tokens —
+only pages written since the space last resided on the target — and the
+per-node tag cache then drops pages whose ``(serial, generation)``
+content is already present there.  See
+:meth:`repro.kernel.kernel.Kernel.migrate`.
+"""
+
+import enum
+
+from repro.mem.page import PAGE_SIZE
+
+
+class MsgType(enum.Enum):
+    """Wire message types of the cluster protocol."""
+
+    MIGRATE = "migrate"
+    PAGE_REQ = "page_req"
+    PAGE_BATCH = "page_batch"
+    ACK = "ack"
+
+
+class LinkStats:
+    """Cumulative traffic accounting of one directed link."""
+
+    __slots__ = ("messages", "bytes_sent", "bytes_received", "pages",
+                 "busy_cycles", "by_type")
+
+    def __init__(self):
+        #: Messages serialized onto the link.
+        self.messages = 0
+        #: Wire bytes queued at the sending node.
+        self.bytes_sent = 0
+        #: Wire bytes handed to the receiving node, computed per
+        #: exchange from its page counts (independently of the
+        #: per-message :attr:`bytes_sent`); links are lossless, so any
+        #: mismatch is a protocol accounting bug — the conservation
+        #: invariant the transport tests pin down.
+        self.bytes_received = 0
+        #: Page payloads moved over the link.
+        self.pages = 0
+        #: Serialization cycles of *every* message on the link,
+        #: including fire-and-forget ACKs.  The scheduler's
+        #: ``ScheduleResult.link_busy`` counts only space-stalling
+        #: transfers (those with a trace link edge), so it reads lower
+        #: than this by the ACK/untraced share.
+        self.busy_cycles = 0
+        #: message-type name -> message count.
+        self.by_type = {}
+
+    def as_dict(self):
+        """Plain-dict view (reporting)."""
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "pages": self.pages,
+            "busy_cycles": self.busy_cycles,
+            "by_type": dict(self.by_type),
+        }
+
+
+class Transport:
+    """The simulated interconnect of one machine's cluster."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        #: (src_node, dst_node) -> LinkStats.
+        self.links = {}
+        #: Migration hops performed (one per MIGRATE message) —
+        #: maintained incrementally so NetworkStats never rescans the
+        #: trace.
+        self.migrations = 0
+        #: Pages moved eagerly with migrations (delta or full ship).
+        self.pages_shipped = 0
+        #: Pages moved by demand-fetch (PAGE_REQ/PAGE_BATCH exchanges).
+        self.pages_pulled = 0
+        #: PAGE_BATCH messages sent.
+        self.batches = 0
+        #: All messages, wire bytes, and serialization cycles, summed
+        #: over every link.
+        self.messages = 0
+        self.bytes_total = 0
+        self.busy_total = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def link(self, src, dst):
+        """The :class:`LinkStats` of the directed link ``src -> dst``."""
+        stats = self.links.get((src, dst))
+        if stats is None:
+            stats = self.links[(src, dst)] = LinkStats()
+        return stats
+
+    def _send(self, mtype, src, dst, nbytes, pages=0):
+        """Serialize one message onto ``src -> dst``; returns its wire
+        (busy) cycles.  Only the *sending* side is accounted here; the
+        exchange methods credit ``bytes_received`` from their own
+        arithmetic (:meth:`_receive`), so the conservation invariant
+        cross-checks the two computations — e.g. a batch split that
+        loses pages shows up as a sent/received mismatch."""
+        cost = self.machine.cost
+        busy = cost.message(nbytes, tcp=self.machine.tcp_mode)
+        stats = self.link(src, dst)
+        stats.messages += 1
+        stats.bytes_sent += nbytes
+        stats.pages += pages
+        stats.busy_cycles += busy
+        stats.by_type[mtype.name] = stats.by_type.get(mtype.name, 0) + 1
+        self.messages += 1
+        self.bytes_total += nbytes
+        self.busy_total += busy
+        return busy
+
+    def _receive(self, src, dst, nbytes):
+        """Credit ``nbytes`` delivered over ``src -> dst`` (lossless)."""
+        self.link(src, dst).bytes_received += nbytes
+
+    def _batch_sizes(self, npages):
+        """Split ``npages`` into PAGE_BATCH loads (``cost.msg_batch``)."""
+        cap = max(1, self.machine.cost.msg_batch)
+        sizes = []
+        while npages > 0:
+            take = min(cap, npages)
+            sizes.append(take)
+            npages -= take
+        return sizes
+
+    def _ship(self, src, dst, npages):
+        """Send ``npages`` as PAGE_BATCH messages; returns wire cycles."""
+        cost = self.machine.cost
+        busy = 0
+        for take in self._batch_sizes(npages):
+            busy += self._send(MsgType.PAGE_BATCH, src, dst,
+                               take * (PAGE_SIZE + cost.page_hdr),
+                               pages=take)
+            self.batches += 1
+        return busy
+
+    # -- protocol exchanges ------------------------------------------------
+
+    def migrate(self, space, src, dst, shipped):
+        """Move ``space`` from ``src`` to ``dst``, shipping ``shipped``
+        delta pages with it.
+
+        Sends MIGRATE + PAGE_BATCHes on ``src -> dst`` and an async ACK
+        back, then cuts the space's trace segment across a link edge so
+        the space resumes on ``dst`` only after the transfer serializes
+        (contending with other traffic on the link) and transits one
+        ``net_latency``.
+        """
+        machine = self.machine
+        cost = machine.cost
+        self.migrations += 1
+        self.pages_shipped += shipped
+        machine.pages_fetched += shipped
+        busy = self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes)
+        busy += self._ship(src, dst, shipped)
+        self._send(MsgType.ACK, dst, src, cost.msg_ctrl)
+        # Receiver-side accounting from the exchange's own arithmetic
+        # (not the per-message sends): conservation cross-checks them.
+        self._receive(src, dst, cost.migrate_bytes
+                      + shipped * (PAGE_SIZE + cost.page_hdr))
+        self._receive(dst, src, cost.msg_ctrl)
+        trace = machine.trace
+        if trace.is_open(space.uid):
+            closed, opened = trace.move_node(space.uid, dst)
+            trace.link_edge(closed, opened, link=(src, dst), busy=busy,
+                            latency=cost.net_latency)
+
+    def fetch(self, space, origin, node, npages):
+        """Demand-fetch ``npages`` for ``space`` (resident on ``node``)
+        from the node that produced their newest content.
+
+        One PAGE_REQ out, batched PAGE_BATCHes back, async ACK.  The
+        space stalls until the response serializes on ``origin -> node``
+        and transits one ``net_latency``; the request's (small)
+        serialization contends on the forward link without adding
+        transit time of its own — the exchange is modelled as a single
+        pipelined round trip, as the seed's per-page charge was.
+        """
+        machine = self.machine
+        cost = machine.cost
+        self.pages_pulled += npages
+        machine.pages_fetched += npages
+        req_busy = self._send(MsgType.PAGE_REQ, node, origin,
+                              cost.msg_ctrl + 8 * npages)
+        resp_busy = self._ship(origin, node, npages)
+        self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
+        self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
+        self._receive(origin, node, npages * (PAGE_SIZE + cost.page_hdr))
+        trace = machine.trace
+        if trace.is_open(space.uid):
+            closed, opened = trace.cut(space.uid, label="fetch")
+            trace.link_edge(closed, opened, link=(node, origin),
+                            busy=req_busy)
+            trace.link_edge(closed, opened, link=(origin, node),
+                            busy=resp_busy, latency=cost.net_latency)
+
+    # -- invariants --------------------------------------------------------
+
+    def conservation_ok(self):
+        """True iff every link delivered exactly the bytes it sent.
+
+        Sender bytes accumulate per message as each serializes; receiver
+        bytes are credited per *exchange* from its page counts.  The two
+        computations agree only when no protocol step loses, duplicates,
+        or mis-sizes traffic (links themselves are lossless).
+        """
+        return all(s.bytes_sent == s.bytes_received
+                   for s in self.links.values())
+
+    def __repr__(self):
+        return (f"<Transport links={len(self.links)} "
+                f"msgs={self.messages} pages="
+                f"{self.pages_shipped + self.pages_pulled}>")

@@ -40,7 +40,7 @@ from repro.common.errors import BadChildError, KernelError, MergeConflictError
 from repro.kernel.space import Space, SpaceState
 from repro.kernel.traps import Trap
 from repro.mem.merge import MergeStats, merge_range
-from repro.mem.page import PAGE_SHIFT, PAGE_SIZE
+from repro.mem.page import PAGE_SHIFT
 from repro.mem.snapshot import Snapshot
 
 #: Bit position where the node-number field starts in a child number.
@@ -130,16 +130,62 @@ class Kernel:
             trace.edge(last, opened)
 
     def migrate(self, space, target_node):
-        """Move a space's execution to another node (paper §3.3)."""
+        """Move a space's execution to another node (paper §3.3).
+
+        The space's memory image travels with it as a *delta*: the dirty
+        ledger (via the space's per-node visit tokens) names the pages
+        written since the space last resided on the target, and the
+        target's tag cache drops the ones whose content already lives
+        there.  The transport coalesces the survivors into batched
+        scatter/gather messages behind a MIGRATE header.
+        """
         if target_node == space.cur_node:
             return
-        cost = self.machine.cost
-        self.kcharge(space, cost.migrate_base + cost.net_msg)
-        trace = self.machine.trace
-        if trace.is_open(space.uid):
-            closed, opened = trace.move_node(space.uid, target_node)
-            trace.edge(closed, opened, latency=cost.net_latency)
+        machine = self.machine
+        cost = machine.cost
+        src = space.cur_node
+        shipped, walked, tracked = self._migration_delta(space, target_node)
+        # CPU-side work: pack register state + walk the candidate set
+        # (ledger entries with tracking, PTEs without).
+        self.kcharge(space, cost.migrate_base
+                     + walked * (cost.page_track if tracked
+                                 else cost.page_scan))
+        space.visit_tokens[src] = space.addrspace.dirty_token()
+        machine.transport.migrate(space, src, target_node, shipped)
         space.cur_node = target_node
+
+    def _migration_delta(self, space, target_node):
+        """Pages to ship with a migration: ``(shipped, walked, tracked)``.
+
+        Registers every shipped page's content tag in the target node's
+        cache (the pages really arrive there).  ``walked`` counts
+        enumeration work for cost charging; ``tracked`` says whether the
+        dirty ledger answered (cheap per entry) or a full mapped-page
+        walk was needed.
+        """
+        machine = self.machine
+        aspace = space.addrspace
+        cache = machine.node_cache[target_node]
+        full = machine.ship_mode == "full"
+        candidates = None
+        tracked = False
+        if not full:
+            token = space.visit_tokens.get(target_node)
+            if token is not None:
+                candidates = aspace.dirty_vpns_since(token)
+                tracked = candidates is not None
+        if candidates is None:
+            candidates = aspace.mapped_vpns()
+        shipped = 0
+        for vpn in candidates:
+            frame = aspace.frame(vpn)
+            if frame is None:
+                continue
+            if not full and cache.get(frame.serial) == frame.generation:
+                continue
+            cache[frame.serial] = frame.generation
+            shipped += 1
+        return shipped, len(candidates), tracked
 
     def touch(self, space, addr, size, write=False):
         """Cluster demand paging: account for page fetches when a space
@@ -151,16 +197,22 @@ class Kernel:
         revisits a node.  Writers bump the frame generation (in
         ``AddressSpace._ensure_writable``), so a mutated frame carries a
         fresh tag and every other node refetches it on next use.
+
+        Misses are pulled through the transport as one batched
+        PAGE_REQ/PAGE_BATCH exchange per producing node — a scatter/
+        gather round trip, not N independent per-page fetches.
         """
         machine = self.machine
         if machine.nnodes <= 1 or size == 0:
             return
         node = space.cur_node
         cache = machine.node_cache[node]
+        origin_of = machine.frame_origin
         aspace = space.addrspace
         vpn0 = addr >> PAGE_SHIFT
         vpn1 = (addr + size - 1) >> PAGE_SHIFT
-        fetched = 0
+        # vpn-ascending batched pulls, grouped by producing node.
+        fetch_by_origin = {}
         # Unmapped vpns have nothing to fetch or cache.  Walk whichever
         # side is smaller: the range itself (scalar accesses stay O(1))
         # or the mapped-page set (huge sparse ranges — whole-share
@@ -179,16 +231,14 @@ class Kernel:
             # live frames.
             if write:
                 cache[frame.serial] = frame.generation
+                origin_of[frame.serial] = node
             elif cache.get(frame.serial) != frame.generation:
                 cache[frame.serial] = frame.generation
-                fetched += 1
-        if fetched:
-            cost = machine.cost
-            per_page = cost.net_latency + cost.message(
-                PAGE_SIZE, tcp=machine.tcp_mode
-            )
-            self.kcharge(space, fetched * per_page)
-            machine.pages_fetched += fetched
+                origin = origin_of.get(frame.serial, space.home_node)
+                fetch_by_origin[origin] = fetch_by_origin.get(origin, 0) + 1
+        for origin in sorted(fetch_by_origin):
+            machine.transport.fetch(space, origin, node,
+                                    fetch_by_origin[origin])
 
     def _copy_subtree(self, caller, src_space, new_parent):
         """Deep COW clone of a space subtree (Tree option)."""
@@ -408,12 +458,14 @@ class Kernel:
         written = stats.written_vpns
         stats.written_vpns = ()
         if written and self.machine.nnodes > 1:
-            cache = self.machine.node_cache[caller.cur_node]
+            node = caller.cur_node
+            cache = self.machine.node_cache[node]
             aspace = caller.addrspace
             for vpn in written:
                 frame = aspace.frame(vpn)
                 if frame is not None:
                     cache[frame.serial] = frame.generation
+                    self.machine.frame_origin[frame.serial] = node
         # Dirty-ledger enumeration inspects a ledger entry per candidate
         # (page_track); a page-table scan inspects a PTE (page_scan).
         scan_cost = cost.page_track if stats.tracked else cost.page_scan

@@ -81,6 +81,7 @@ class Machine:
         tcp_mode=False,
         programs=None,
         dirty_tracking=True,
+        ship_mode="delta",
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -94,6 +95,14 @@ class Machine:
         #: get the legacy O(mapped) Snap/Merge behavior (the ablation
         #: baseline of benchmarks/bench_ablation_dirtytrack.py).
         self.dirty_tracking = dirty_tracking
+        #: Migration page-shipping policy: ``"delta"`` ships only pages
+        #: whose content the target node does not already hold (visit
+        #: tokens answered from the dirty ledger + per-node tag cache);
+        #: ``"full"`` re-ships every mapped page on every hop (the naive
+        #: protocol, kept as the delta-ship ablation baseline).
+        if ship_mode not in ("delta", "full"):
+            raise ValueError(f"unknown ship_mode {ship_mode!r}")
+        self.ship_mode = ship_mode
         #: Machine-owned frame serial source (no cross-machine state).
         self.frames = FrameAllocator()
 
@@ -119,8 +128,17 @@ class Machine:
         #: node -> {frame serial: newest generation materialized at that
         #: node} (§3.3 read-only page cache, keyed on content tags).
         self.node_cache = defaultdict(dict)
-        #: Total demand page fetches across the run.
+        #: frame serial -> node that produced its newest content; the
+        #: transport pulls demand-fetched pages from there.
+        self.frame_origin = {}
+        #: Total pages that crossed the wire (migration-shipped plus
+        #: demand-fetched; the transport keeps the split).
         self.pages_fetched = 0
+        # Imported lazily: the cluster package's public modules import
+        # Machine, so a module-level import here would cycle.
+        from repro.cluster.transport import Transport
+        #: Message-level interconnect all cross-node paths route through.
+        self.transport = Transport(self)
 
         #: MergeStats of every kernel merge (tests, ablations).
         self.merge_stats_total = []

@@ -69,6 +69,11 @@ class Space:
         self.home_node = home_node
         #: Node where the space currently executes.
         self.cur_node = home_node
+        #: node -> dirty-ledger clock when this space last left that
+        #: node.  Migration back ships only pages written since (the
+        #: ledger-driven delta); nodes never visited need a full
+        #: tag-filtered walk instead.
+        self.visit_tokens = {}
         #: True only for the root space (and spaces explicitly delegated
         #: I/O privileges): may invoke device pseudo-calls.
         self.io_privilege = False

@@ -136,6 +136,19 @@ class AddressSpace:
         """Pages ever recorded in the dirty ledger (introspection)."""
         return len(self._dirty)
 
+    def dirty_vpns_since(self, token):
+        """Sorted vpns mutated after ``token``, or None if unavailable.
+
+        The deterministic (sorted) enumeration the cluster transport
+        ships migration deltas from: a space's per-node visit token is a
+        ledger clock, and this answers "what changed since I last
+        resided there" in O(written-since), never O(mapped).
+        """
+        dirty = self.dirty_since(token)
+        if dirty is None:
+            return None
+        return sorted(dirty)
+
     def _mark_dirty(self, vpn):
         if not self._track_dirty:
             return

@@ -96,6 +96,19 @@ class CostModel:
     tcp_extra: int = 1200
     #: Migrate a space: register state + address-space summary (§3.3).
     migrate_base: int = 40_000
+    #: Maximum pages coalesced into one PAGE_BATCH scatter/gather
+    #: message (cluster transport).  1 reproduces the seed's
+    #: one-message-per-page protocol; larger values amortize the
+    #: per-message latency and framing across the batch.
+    msg_batch: int = 32
+    #: Per-page scatter/gather header bytes inside a PAGE_BATCH.
+    page_hdr: int = 16
+    #: Payload bytes of a control message (PAGE_REQ/ACK header; a
+    #: PAGE_REQ additionally carries 8 bytes per requested page).
+    msg_ctrl: int = 64
+    #: Payload bytes of a MIGRATE message: register file plus the
+    #: address-space summary that lets the target demand-fault the rest.
+    migrate_bytes: int = 512
 
     # ---- Misc -----------------------------------------------------------
     extras: dict = field(default_factory=dict)

@@ -8,6 +8,12 @@ scheduler approximates — with fully deterministic tie-breaking.
 
 Latency on an edge models network transit: the destination becomes ready
 ``latency`` cycles after the source finishes, occupying no CPU.
+
+Link edges (:meth:`repro.timing.trace.Trace.link_edge`) additionally
+occupy a network channel: a transfer must win its link, serialize for
+``busy`` cycles (overlapping transfers on the same link contend, in
+deterministic source-finish order), then transit ``latency`` cycles.
+Per-link occupancy totals are reported on the result.
 """
 
 import heapq
@@ -17,9 +23,11 @@ from collections import defaultdict
 class ScheduleResult:
     """Outcome of scheduling a trace."""
 
-    __slots__ = ("makespan", "busy", "start", "finish", "cpu_count")
+    __slots__ = ("makespan", "busy", "start", "finish", "cpu_count",
+                 "link_busy")
 
-    def __init__(self, makespan, busy, start, finish, cpu_count):
+    def __init__(self, makespan, busy, start, finish, cpu_count,
+                 link_busy=None):
         #: Total virtual time from first segment start to last finish.
         self.makespan = makespan
         #: Total CPU-busy cycles (sum of scheduled segment durations).
@@ -30,6 +38,8 @@ class ScheduleResult:
         self.finish = finish
         #: Total CPUs across all nodes.
         self.cpu_count = cpu_count
+        #: link -> serialization cycles the link spent occupied.
+        self.link_busy = link_busy or {}
 
     @property
     def utilization(self):
@@ -69,7 +79,12 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
     succs = defaultdict(list)
     for src, dst, latency in trace.edges:
         npreds[dst] += 1
-        succs[src].append((dst, latency))
+        succs[src].append((dst, latency, None, 0))
+    for src, dst, link, busy, latency in trace.transfers:
+        npreds[dst] += 1
+        succs[src].append((dst, latency, link, busy))
+    link_free = {}      # link -> time the channel next becomes idle
+    link_busy = {}      # link -> total serialization cycles
 
     cpus_per_node = cpus_per_node or {}
 
@@ -123,9 +138,19 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         finish[seg_id] = now
         busy += seg.cycles
         free[seg.node] += 1
-        for dst, latency in succs[seg_id]:
+        for dst, latency, link, xfer_busy in succs[seg_id]:
             npreds[dst] -= 1
-            ready_at[dst] = max(ready_at[dst], now + latency)
+            if link is None:
+                arrival = now + latency
+            else:
+                # The transfer waits for the channel, serializes on it,
+                # then transits; contention order follows the (already
+                # deterministic) source-finish order.
+                xfer_start = max(now, link_free.get(link, 0))
+                link_free[link] = xfer_start + xfer_busy
+                link_busy[link] = link_busy.get(link, 0) + xfer_busy
+                arrival = xfer_start + xfer_busy + latency
+            ready_at[dst] = max(ready_at[dst], arrival)
             if npreds[dst] == 0:
                 if ready_at[dst] > now:
                     order_ = len(events)
@@ -144,7 +169,7 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         )
 
     total_cpus = sum(free[node] for node in seen_nodes) or max(1, ncpus)
-    return ScheduleResult(now, busy, start, finish, total_cpus)
+    return ScheduleResult(now, busy, start, finish, total_cpus, link_busy)
 
 
 def critical_path(trace):

@@ -40,6 +40,11 @@ class Trace:
         self.segments = []
         #: list of (src_segment_id, dst_segment_id, latency_cycles)
         self.edges = []
+        #: list of (src_id, dst_id, link, busy_cycles, latency_cycles) —
+        #: precedence edges that additionally *occupy* a network link
+        #: (see :meth:`link_edge`); kept separate from :attr:`edges` so
+        #: plain consumers keep their 3-tuple shape.
+        self.transfers = []
         self._open = {}   # uid -> Segment
         self._last = {}   # uid -> last closed Segment
 
@@ -108,6 +113,20 @@ class Trace:
         src = src_seg.id if isinstance(src_seg, Segment) else src_seg
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
         self.edges.append((src, dst, latency))
+
+    def link_edge(self, src_seg, dst_seg, link, busy=0, latency=0):
+        """Precedence edge that also serializes on a network link.
+
+        ``link`` is any hashable channel identity (the cluster transport
+        uses ``(src_node, dst_node)``).  The destination becomes ready
+        only after the transfer wins the link (transfers on one link
+        contend, FIFO in completion order of their sources), occupies it
+        for ``busy`` cycles of serialization, and transits ``latency``
+        further cycles.  Neither phase consumes a CPU.
+        """
+        src = src_seg.id if isinstance(src_seg, Segment) else src_seg
+        dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
+        self.transfers.append((src, dst, link, busy, latency))
 
     def finish(self):
         """Close any remaining open segments (end of simulation)."""

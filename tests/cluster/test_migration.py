@@ -163,10 +163,10 @@ def test_merged_pages_cached_at_merging_node():
         assert m.run(main).r0 == 0
 
 
-def test_merge_does_not_cache_unmerged_parent_pages():
-    """Only pages the merge actually wrote get free cache residency at
-    the merging node; a parent page freshened on another node must still
-    cross the wire when read here."""
+def test_freshened_parent_page_ships_exactly_once():
+    """A parent page freshened on another node crosses the wire exactly
+    once: it rides the parent's next migration as the ledger-driven
+    delta, and reading it at the merging node is then free."""
     from repro.mem.layout import SHARED_BASE
     from repro.kernel.kernel import child_ref as ref
 
@@ -184,13 +184,15 @@ def test_merge_does_not_cache_unmerged_parent_pages():
         g.get(0x50, regs=True)            # migrate home (node 0)
         # Freshen page 1 at node 0: its new tag lives only there.
         g.write(SHARED_BASE + PAGE_SIZE, b"c" * PAGE_SIZE)
-        g.get(child, regs=True, merge=True)   # merge on node 1
         before = g.machine.pages_fetched
+        g.get(child, regs=True, merge=True)   # migrate + merge on node 1
+        shipped = g.machine.pages_fetched - before
         g.read(SHARED_BASE + PAGE_SIZE, 8)    # reading page 1 on node 1
-        return g.machine.pages_fetched - before
+        reread = g.machine.pages_fetched - before - shipped
+        return (shipped, reread)
 
     with Machine(nnodes=2) as m:
-        assert m.run(main).r0 == 1
+        assert m.run(main).r0 == (1, 0)
 
 
 def test_migration_charges_latency_in_makespan():
