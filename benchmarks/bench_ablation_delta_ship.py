@@ -16,6 +16,8 @@ same run re-checks ``sweep_nodes``' semantic-transparency invariant
 under every configuration.
 """
 
+from conftest import dump_json
+
 from repro.bench import cluster_workloads as cw
 from repro.timing.model import CostModel
 
@@ -83,6 +85,12 @@ def test_ablation_delta_ship(once):
         # ...and the combination strictly wins on wire time and makespan.
         assert batch["wire_cycles"] < full["wire_cycles"]
         assert batch["makespan"] < full["makespan"]
+
+    dump_json("BENCH_delta_ship.json", {
+        f"{name}/{mode}": {k: v for k, v in r.items() if k != "conserved"}
+        for name, by_mode in results.items()
+        for mode, r in by_mode.items()
+    })
 
 
 def test_sweep_invariant_under_all_modes(once):

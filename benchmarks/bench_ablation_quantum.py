@@ -11,7 +11,6 @@ port, confirming the monotone trade-off.
 
 from repro.bench.harness import run_determinator
 from repro.bench.workloads import blackscholes_workload as bs
-from repro.bench.workloads import matmult_workload
 
 
 def test_ablation_quantum_sweep(once):

@@ -37,3 +37,17 @@ def test_fig11_cluster_speedup(once):
     # Delta+batched shipping dominates the naive protocol at every size.
     for nodes, naive in series["matmult-naive"].items():
         assert series["matmult-tree"][nodes] >= naive
+
+
+@pytest.mark.slow_cluster
+def test_fig11_topology_series(once):
+    """The data-bound series re-run per routed fabric: the flat mesh is
+    the upper envelope, oversubscribed two-tier bends the knee
+    earliest, full-bisection fat-tree sits between."""
+    series = once(figures.figure11_topology)
+    print()
+    print(figures.format_series(
+        "Figure 11 (per topology): matmult-tree speedup", series))
+    for nodes in (4, 8):
+        assert series["flat"][nodes] >= series["fat-tree"][nodes]
+        assert series["fat-tree"][nodes] > series["two-tier"][nodes]

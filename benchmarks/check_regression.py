@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI regression gate for benchmark metrics.
+
+Compares the JSON the ablation benchmarks just wrote to
+``benchmarks/out/`` against the committed ``benchmarks/BENCH_*.json``
+baselines and exits nonzero when a gated metric regressed more than
+10% — e.g. matmult-tree shipping more wire bytes or finishing in more
+virtual cycles than the baseline recorded.  Non-gated keys (computed
+values, conservation flags) must merely be present.
+
+The simulations are deterministic, so on an unchanged cost model the
+numbers match the baselines exactly; the tolerance leaves room for
+deliberate small recalibrations.  After an intentional protocol or
+cost-model change, regenerate and commit the baselines:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablation_*.py -q
+    cp benchmarks/out/BENCH_*.json benchmarks/
+
+Usage: python benchmarks/check_regression.py [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Leaf keys gated against the baseline (higher is a regression).
+GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops"}
+
+
+def compare(baseline, current, path, tolerance, failures):
+    """Walk ``baseline`` recursively, recording gate violations."""
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            failures.append(f"{path}: expected an object, got {current!r}")
+            return
+        for key, base_value in baseline.items():
+            if key not in current:
+                failures.append(f"{path}/{key}: missing from current output")
+                continue
+            compare(base_value, current[key], f"{path}/{key}", tolerance,
+                    failures)
+        # New cells or metrics must enter the baseline too, at any
+        # depth, or they would never be gated.
+        for key in sorted(set(current) - set(baseline)):
+            failures.append(
+                f"{path}/{key}: present in output but missing from the "
+                f"committed baseline — regenerate it")
+        return
+    leaf = path.rsplit("/", 1)[-1]
+    if leaf in GATED_KEYS and isinstance(baseline, (int, float)):
+        if not isinstance(current, (int, float)):
+            failures.append(f"{path}: non-numeric {current!r}")
+        elif current > baseline * (1 + tolerance):
+            failures.append(
+                f"{path}: {current:,} exceeds baseline {baseline:,} "
+                f"by {current / baseline - 1:+.1%} (> {tolerance:.0%})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative increase (default 0.10)")
+    args = parser.parse_args(argv)
+
+    baselines = sorted(HERE.glob("BENCH_*.json"))
+    if not baselines:
+        print("check_regression: no BENCH_*.json baselines committed",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for baseline_path in baselines:
+        current_path = HERE / "out" / baseline_path.name
+        if not current_path.exists():
+            failures.append(
+                f"{baseline_path.name}: {current_path} not found — run the "
+                f"ablation benchmarks first")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        before = len(failures)
+        compare(baseline, current, baseline_path.stem, args.tolerance,
+                failures)
+        status = "FAIL" if len(failures) > before else "ok"
+        print(f"check_regression: {baseline_path.name}: {status}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs committed baselines:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_regression: all gated metrics within "
+          f"{args.tolerance:.0%} of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

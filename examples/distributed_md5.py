@@ -38,6 +38,19 @@ if __name__ == "__main__":
     print("semantically transparent (paper §3.3).")
 
     stats = NetworkStats(machine)
-    print(f"\nnetwork at 16 nodes: {stats.summary()}\n")
-    print("per-link traffic (delta migrations + batched demand fetches):")
+    print(f"\nnetwork at 16 nodes (flat fabric): {stats.summary()}\n")
+    print("per-class / per-link traffic (delta migrations + batched "
+          "demand fetches):")
     print(stats.link_table())
+
+    # The same program, re-run on a routed two-tier fabric (racks of 4
+    # behind an oversubscribed core switch) with locality-aware
+    # placement: the per-class table splits rack-local from cross-rack
+    # traffic — the view that explains oversubscription bottlenecks.
+    _, machine, found = run_cluster(md5_tree_main(LENGTH), 16,
+                                    topology="two_tier:4",
+                                    placement="locality")
+    assert found == target
+    stats = NetworkStats(machine)
+    print("\nsame run, two-tier fabric (racks of 4, locality placement):")
+    print(stats.class_table())

@@ -148,6 +148,46 @@ def figure11(node_counts=FIG11_NODES, md5_length=4, matmult_n=512):
     return series
 
 
+#: Fabric presets compared by :func:`figure11_topology` — rack size 2
+#: keeps every preset multi-rack from 4 nodes up.
+FIG11_TOPOLOGIES = (
+    ("flat", "flat"),
+    ("two-tier", "two_tier:2"),
+    ("fat-tree", "fat_tree:2"),
+)
+
+
+def figure11_topology(node_counts=(1, 2, 4, 8), matmult_n=256,
+                      placement="round_robin"):
+    """Figure 11's data-bound series, re-run per fabric.
+
+    Returns ``{topology: {nodes: speedup}}`` for matmult-tree — the
+    workload whose scaling the network sets.  All fabrics share the
+    1-node baseline (a single node never touches the wire), so the
+    series are directly comparable: the flat fabric is the legacy
+    upper envelope, the oversubscribed two-tier fabric bends the knee
+    earliest, and the full-bisection fat tree sits between.
+    """
+    base_time, _, base_value = cw.run_cluster(
+        cw.matmult_tree_main(matmult_n), nnodes=1)
+    series = {}
+    for label, spec in FIG11_TOPOLOGIES:
+        series[label] = {}
+        for nodes in node_counts:
+            if nodes == 1:
+                # A single node never touches the wire: every fabric's
+                # 1-node cell *is* the shared baseline.
+                series[label][1] = 1.0
+                continue
+            time, _, value = cw.run_cluster(
+                cw.matmult_tree_main(matmult_n), nnodes=nodes,
+                topology=spec, placement=placement)
+            assert value == base_value, \
+                f"{label}: result drift at {nodes} nodes"
+            series[label][nodes] = base_time / time
+    return series
+
+
 # ---------------------------------------------------------------------------
 # Figure 12: Determinator vs distributed-memory Linux equivalents
 # ---------------------------------------------------------------------------

@@ -1,28 +1,58 @@
-"""Cluster distribution: message transport + operator conveniences (§3.3).
+"""Cluster distribution: routed transport + operator conveniences (§3.3).
 
 The kernel decides *what* crosses nodes (node fields in child numbers,
 migration deltas, demand paging against the tag cache); this package
 owns *how* it crosses and what that costs:
 
+* :class:`~repro.cluster.topology.Topology` — the routed fabric:
+  ``flat`` (legacy full mesh), ``two_tier`` (racks behind one
+  oversubscribed core switch), and ``fat_tree`` (leaf-spine, full
+  bisection) presets, each link carrying a latency/bandwidth
+  :class:`~repro.cluster.topology.LinkClass`;
 * :class:`~repro.cluster.transport.Transport` — the simulated
   interconnect: typed messages (MIGRATE, PAGE_REQ, PAGE_BATCH, ACK)
-  over per-link latency/bandwidth channels, with migration deltas and
-  demand fetches coalesced into batched scatter/gather messages;
+  routed hop-by-hop over the fabric, with migration deltas and demand
+  fetches coalesced into batched scatter/gather messages; every
+  traversed link accrues occupancy, so shared cross-rack uplinks
+  contend in ``schedule()``;
+* placement policies (:mod:`repro.cluster.placement`) — map
+  program-visible node numbers onto fabric nodes: ``round_robin``
+  stripes across racks, ``locality`` packs by communication affinity
+  using the transport's live per-link stats;
 * :class:`Cluster` — construct, run and time a multi-node machine with
   one call;
 * :class:`NetworkStats` — traffic accounting derived from the
   transport's live counters: migration hops, page/byte/message totals,
-  and a per-link breakdown (``NetworkStats.link_table()``) of messages,
-  pages, bytes, and wire occupancy per directed channel;
+  per-class (rack vs cross-rack) aggregates
+  (``NetworkStats.class_table()``), and a per-link breakdown
+  (``NetworkStats.link_table()``);
 * :func:`sweep_nodes` — run the same program across cluster sizes and
   collect the speedup series (the Figure 11 primitive).
 """
 
 from repro.cluster.network import NetworkStats
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+from repro.cluster.placement import (
+    LocalityAwarePlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    resolve_placement,
+)
+from repro.cluster.topology import (
+    FatTreeTopology,
+    FlatTopology,
+    LinkClass,
+    Topology,
+    TwoTierTopology,
+    resolve_topology,
+)
 from repro.cluster.transport import LinkStats, MsgType, Transport
 
 __all__ = [
     "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
     "Transport", "MsgType", "LinkStats",
+    "Topology", "FlatTopology", "TwoTierTopology", "FatTreeTopology",
+    "LinkClass", "resolve_topology",
+    "PlacementPolicy", "RoundRobinPlacement", "LocalityAwarePlacement",
+    "resolve_placement",
 ]

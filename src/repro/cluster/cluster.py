@@ -37,7 +37,8 @@ class Cluster:
     """
 
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
-                 dirty_tracking=True, ship_mode="delta"):
+                 dirty_tracking=True, ship_mode="delta", topology=None,
+                 placement=None):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -49,6 +50,12 @@ class Cluster:
         #: Migration shipping policy ("delta" or "full"); see
         #: :class:`repro.cluster.transport.Transport`.
         self.ship_mode = ship_mode
+        #: Fabric the transport routes over ("flat", "two_tier:<rack>",
+        #: "fat_tree:<rack>", a Topology, or a builder) and the policy
+        #: placing program node numbers onto it ("round_robin",
+        #: "locality", "identity", or a PlacementPolicy).
+        self.topology = topology
+        self.placement = placement
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
@@ -56,6 +63,7 @@ class Cluster:
         machine = Machine(
             cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode,
             dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
+            topology=self.topology, placement=self.placement,
         )
         with machine:
             result = machine.run(entry, args)
@@ -70,22 +78,25 @@ class Cluster:
 
 def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                 check_value=True, tcp_mode=False, dirty_tracking=True,
-                ship_mode="delta"):
+                ship_mode="delta", topology=None, placement=None):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
     ``check_value`` (default) every size must compute the same value —
     distribution is semantically transparent (§3.3).  The machine
     configuration knobs (``tcp_mode``, ``dirty_tracking``,
-    ``ship_mode``) apply to *every* size, so sweeps compare like with
-    like.
+    ``ship_mode``, ``topology``, ``placement``) apply to *every* size,
+    so sweeps compare like with like; pass ``topology`` as a preset
+    string or an ``nnodes -> Topology`` builder, since each size gets
+    its own fabric.
     """
     series = {}
     base_time = None
     base_value = None
     for nnodes in node_counts:
         cluster = Cluster(nnodes, cpus_per_node, cost, tcp_mode=tcp_mode,
-                          dirty_tracking=dirty_tracking, ship_mode=ship_mode)
+                          dirty_tracking=dirty_tracking, ship_mode=ship_mode,
+                          topology=topology, placement=placement)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

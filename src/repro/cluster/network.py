@@ -2,12 +2,12 @@
 
 Every cross-node kernel path routes through the machine's
 :class:`~repro.cluster.transport.Transport`, which counts messages,
-bytes, pages, and serialization cycles per directed link as the
+bytes, pages, and serialization cycles per directed fabric link as the
 simulation runs.  This module turns those live counters into the
 operator-readable statistics one would read off a switch to explain why
 matmult-tree levels off at two nodes (§6.3) — no post-hoc trace rescans:
-migration hops and per-link totals are maintained incrementally by the
-transport itself.
+migration hops, per-link totals, and per-class (rack vs cross-rack)
+aggregates are maintained incrementally by the transport itself.
 """
 
 from repro.mem.page import PAGE_SIZE
@@ -19,6 +19,8 @@ class NetworkStats:
     def __init__(self, machine):
         self.machine = machine
         transport = machine.transport
+        #: The fabric the traffic was routed over.
+        self.topology = machine.topology.name
         #: Pages that crossed the wire over the whole run (migration
         #: deltas plus demand fetches).
         self.pages_fetched = machine.pages_fetched
@@ -28,10 +30,14 @@ class NetworkStats:
         #: Page payload bytes those transfers moved.
         self.bytes_moved = self.pages_fetched * PAGE_SIZE
         #: Total wire bytes including message framing, scatter/gather
-        #: headers, and control traffic (PAGE_REQ/ACK).
+        #: headers, and control traffic (PAGE_REQ/ACK), summed over
+        #: every *traversed* link — an H-hop route moves its bytes H
+        #: times, as on a real switched fabric.
         self.wire_bytes = transport.bytes_total
-        #: Messages of any type, and PAGE_BATCH messages specifically.
+        #: Logical messages of any type, link traversals they cost, and
+        #: PAGE_BATCH messages specifically.
         self.messages = transport.messages
+        self.hops = transport.hops
         self.batches = transport.batches
         #: Migration hops (one MIGRATE message each), counted
         #: incrementally by the transport as they happen.
@@ -41,12 +47,18 @@ class NetworkStats:
         #: so this reads higher than the scheduler's per-link
         #: ``ScheduleResult.link_busy`` occupancy).
         self.wire_cycles = transport.busy_total
-        #: (src, dst) -> per-link breakdown (messages, bytes, pages,
-        #: occupancy, message-type counts).
+        #: (src, dst) -> per-link breakdown (class, messages, bytes,
+        #: pages, occupancy, message-type counts); switch-attached links
+        #: included.
         self.per_link = {
             link: stats.as_dict()
-            for link, stats in sorted(transport.links.items())
+            for link, stats in sorted(transport.links.items(),
+                                      key=lambda kv: _link_key(kv[0]))
         }
+        #: link-class name -> aggregate traffic over all links of the
+        #: class (the rack vs cross-rack split): links, messages,
+        #: bytes_sent, pages, busy_cycles.
+        self.per_class = transport.class_totals()
         #: node -> number of distinct *frames* currently cached there
         #: (the cache keeps only each frame's newest generation, so dead
         #: versions don't count).
@@ -54,19 +66,41 @@ class NetworkStats:
             node: len(serials) for node, serials in machine.node_cache.items()
         }
 
-    def link_table(self):
-        """Aligned per-link rows: traffic and occupancy of each channel."""
-        if not self.per_link:
+    def class_table(self):
+        """Aligned per-class rows: the rack/cross-rack aggregate view."""
+        if not self.per_class:
             return "(no cross-node traffic)"
-        lines = [f"{'link':>8} {'msgs':>6} {'pages':>7} {'KiB':>9} "
-                 f"{'busy cycles':>13}"]
-        for (src, dst), stats in self.per_link.items():
+        lines = [f"{'class':>8} {'links':>6} {'msgs':>7} {'pages':>8} "
+                 f"{'KiB':>10} {'busy cycles':>14}"]
+        for cls, agg in sorted(self.per_class.items()):
             lines.append(
-                f"{f'{src}->{dst}':>8} {stats['messages']:>6} "
-                f"{stats['pages']:>7} {stats['bytes_sent'] / 1024:>9.1f} "
-                f"{stats['busy_cycles']:>13,}"
+                f"{cls:>8} {agg['links']:>6} {agg['messages']:>7} "
+                f"{agg['pages']:>8} {agg['bytes_sent'] / 1024:>10.1f} "
+                f"{agg['busy_cycles']:>14,}"
             )
         return "\n".join(lines)
+
+    def link_table(self):
+        """Per-class aggregates followed by the raw per-link rows."""
+        if not self.per_link:
+            return "(no cross-node traffic)"
+        lines = [self.class_table(), ""]
+        lines.append(f"{'link':>16} {'class':>6} {'msgs':>7} {'pages':>8} "
+                     f"{'KiB':>10} {'busy cycles':>14}")
+        for (src, dst), stats in self.per_link.items():
+            lines.append(
+                f"{f'{src}->{dst}':>16} {stats['cls']:>6} "
+                f"{stats['messages']:>7} {stats['pages']:>8} "
+                f"{stats['bytes_sent'] / 1024:>10.1f} "
+                f"{stats['busy_cycles']:>14,}"
+            )
+        return "\n".join(lines)
+
+    def class_bytes(self, cls):
+        """Total wire bytes sent over links of class ``cls`` (0 if the
+        fabric has none) — e.g. ``class_bytes("core")`` is the
+        cross-rack volume placement policies try to shrink."""
+        return self.per_class.get(cls, {}).get("bytes_sent", 0)
 
     def summary(self):
         """One-paragraph human-readable summary."""
@@ -76,11 +110,18 @@ class NetworkStats:
             f"({self.pages_shipped:,} shipped with migrations, "
             f"{self.pages_pulled:,} demand-pulled; "
             f"{self.bytes_moved / 1024:.0f} KiB payload in "
-            f"{self.messages:,} messages), "
-            f"{self.wire_cycles:,} wire cycles over "
-            f"{len(self.per_link)} links, "
+            f"{self.messages:,} messages over {self.hops:,} link "
+            f"traversals), {self.wire_cycles:,} wire cycles over "
+            f"{len(self.per_link)} {self.topology} links, "
             f"cache population: {dict(sorted(self.cached_per_node.items()))}"
         )
 
     def __repr__(self):
         return f"<NetworkStats {self.summary()}>"
+
+
+def _link_key(link):
+    """Deterministic sort key for links whose endpoints mix node ints
+    and switch-name strings."""
+    return tuple((0, end) if isinstance(end, int) else (1, end)
+                 for end in link)

@@ -2,10 +2,10 @@
 
 The seed charged cross-node work as scalars: a flat ``migrate_base +
 net_msg`` per hop and one independent round trip per demand-fetched
-page.  This module replaces that with an explicit protocol over per-link
-channels; every cross-node kernel path (migrate, remote fork/join's
-copy, demand fetch, merge) now routes its traffic through one
-:class:`Transport` owned by the machine.
+page.  This module replaces that with an explicit protocol over a
+*routed fabric*; every cross-node kernel path (migrate, remote
+fork/join's copy, demand fetch, merge) now routes its traffic through
+one :class:`Transport` owned by the machine.
 
 Message types
 -------------
@@ -22,20 +22,30 @@ Message types
     8 bytes per page), sent to the node that produced their newest
     content.
 ``ACK``
-    Completion notice on the reverse link.  ACKs are fire-and-forget:
+    Completion notice on the reverse route.  ACKs are fire-and-forget:
     they occupy wire bytes/messages in the accounting but never delay
     the sending space.
 
-Links and time
---------------
+Links, routes, and time
+-----------------------
 
-A link is the ordered pair ``(src_node, dst_node)``.  Each message's
-serialization cost is ``cost.message(nbytes)`` (framing + bandwidth,
-TCP surcharge when the machine runs in ``tcp_mode``).  Transfers that
-stall a space are recorded as :meth:`~repro.timing.trace.Trace.link_edge`
-trace edges, so the scheduler makes overlapping transfers on one link
-contend while leaving the CPUs free — wire time is channel occupancy,
-not compute.
+The machine's :class:`~repro.cluster.topology.Topology` describes the
+fabric: links are ordered pairs of fabric *endpoints* (node ints and
+switch names), each carrying a latency/bandwidth class.  A message
+between non-adjacent endpoints is routed hop by hop — **every traversed
+link** accrues its messages, bytes, pages, and serialization occupancy
+(``cost.link_message`` scaled by the link class's bandwidth factor,
+TCP surcharge when the machine runs in ``tcp_mode``).  On the legacy
+flat fabric every route is the single direct link, reproducing the
+pre-topology accounting exactly.
+
+Transfers that stall a space are recorded as one
+:meth:`~repro.timing.trace.Trace.link_edge` per traversed link, so the
+scheduler makes overlapping transfers contend *on each physical link of
+the route* while leaving the CPUs free — a shared cross-rack uplink
+serializes every node pair that crosses it, which is how
+oversubscription bends the scaling curve.  The route's total transit
+latency (sum of per-hop class latencies) is charged alongside.
 
 Delta shipping
 --------------
@@ -65,21 +75,25 @@ class MsgType(enum.Enum):
 
 
 class LinkStats:
-    """Cumulative traffic accounting of one directed link."""
+    """Cumulative traffic accounting of one directed fabric link."""
 
-    __slots__ = ("messages", "bytes_sent", "bytes_received", "pages",
+    __slots__ = ("cls", "messages", "bytes_sent", "bytes_received", "pages",
                  "busy_cycles", "by_type")
 
-    def __init__(self):
-        #: Messages serialized onto the link.
+    def __init__(self, cls="node"):
+        #: Name of the link's latency/bandwidth class.
+        self.cls = cls
+        #: Messages serialized onto the link (each routed message counts
+        #: once per link it traverses).
         self.messages = 0
-        #: Wire bytes queued at the sending node.
+        #: Wire bytes queued at the sending endpoint.
         self.bytes_sent = 0
-        #: Wire bytes handed to the receiving node, computed per
+        #: Wire bytes handed to the receiving endpoint, computed per
         #: exchange from its page counts (independently of the
         #: per-message :attr:`bytes_sent`); links are lossless, so any
         #: mismatch is a protocol accounting bug — the conservation
-        #: invariant the transport tests pin down.
+        #: invariant the transport tests pin down, now enforced on every
+        #: traversed link of every route.
         self.bytes_received = 0
         #: Page payloads moved over the link.
         self.pages = 0
@@ -95,6 +109,7 @@ class LinkStats:
     def as_dict(self):
         """Plain-dict view (reporting)."""
         return {
+            "cls": self.cls,
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
@@ -109,7 +124,9 @@ class Transport:
 
     def __init__(self, machine):
         self.machine = machine
-        #: (src_node, dst_node) -> LinkStats.
+        #: (src_endpoint, dst_endpoint) -> LinkStats, one entry per
+        #: *physical* fabric link that ever carried traffic (switch
+        #: links included).
         self.links = {}
         #: Migration hops performed (one per MIGRATE message) —
         #: maintained incrementally so NetworkStats never rescans the
@@ -121,44 +138,74 @@ class Transport:
         self.pages_pulled = 0
         #: PAGE_BATCH messages sent.
         self.batches = 0
-        #: All messages, wire bytes, and serialization cycles, summed
-        #: over every link.
+        #: Logical protocol messages (each counted once however many
+        #: links its route traverses).
         self.messages = 0
+        #: Link traversals: a message over an H-hop route counts H.
+        self.hops = 0
+        #: Wire bytes and serialization cycles summed over every
+        #: traversed link (an H-hop route moves its bytes H times).
         self.bytes_total = 0
         self.busy_total = 0
 
     # -- bookkeeping -------------------------------------------------------
 
-    def link(self, src, dst):
-        """The :class:`LinkStats` of the directed link ``src -> dst``."""
-        stats = self.links.get((src, dst))
+    def link(self, link):
+        """The :class:`LinkStats` of one directed fabric link."""
+        stats = self.links.get(link)
         if stats is None:
-            stats = self.links[(src, dst)] = LinkStats()
+            cls = self.machine.topology.link_class(link).name
+            stats = self.links[link] = LinkStats(cls)
         return stats
 
-    def _send(self, mtype, src, dst, nbytes, pages=0):
-        """Serialize one message onto ``src -> dst``; returns its wire
-        (busy) cycles.  Only the *sending* side is accounted here; the
-        exchange methods credit ``bytes_received`` from their own
-        arithmetic (:meth:`_receive`), so the conservation invariant
-        cross-checks the two computations — e.g. a batch split that
-        loses pages shows up as a sent/received mismatch."""
-        cost = self.machine.cost
-        busy = cost.message(nbytes, tcp=self.machine.tcp_mode)
-        stats = self.link(src, dst)
-        stats.messages += 1
-        stats.bytes_sent += nbytes
-        stats.pages += pages
-        stats.busy_cycles += busy
-        stats.by_type[mtype.name] = stats.by_type.get(mtype.name, 0) + 1
+    def _send(self, mtype, src, dst, nbytes, pages=0, usage=None):
+        """Serialize one message along the fabric route ``src -> dst``.
+
+        Every traversed link accrues the message's bytes, pages, and
+        its class-scaled serialization cycles; ``usage`` (when given)
+        collects per-link busy cycles for the caller's trace edges.
+        Only the *sending* side is accounted here; the exchange methods
+        credit ``bytes_received`` from their own arithmetic
+        (:meth:`_receive`), so the conservation invariant cross-checks
+        the two computations per physical link — e.g. a batch split
+        that loses pages shows up as a sent/received mismatch.
+        """
+        machine = self.machine
+        cost = machine.cost
+        topo = machine.topology
         self.messages += 1
-        self.bytes_total += nbytes
-        self.busy_total += busy
-        return busy
+        for link in topo.route(src, dst):
+            cls = topo.link_class(link)
+            busy = cost.link_message(nbytes, byte_factor=cls.byte_factor,
+                                     tcp=machine.tcp_mode)
+            stats = self.link(link)
+            stats.messages += 1
+            stats.bytes_sent += nbytes
+            stats.pages += pages
+            stats.busy_cycles += busy
+            stats.by_type[mtype.name] = stats.by_type.get(mtype.name, 0) + 1
+            self.hops += 1
+            self.bytes_total += nbytes
+            self.busy_total += busy
+            if usage is not None:
+                usage[link] = usage.get(link, 0) + busy
 
     def _receive(self, src, dst, nbytes):
-        """Credit ``nbytes`` delivered over ``src -> dst`` (lossless)."""
-        self.link(src, dst).bytes_received += nbytes
+        """Credit ``nbytes`` delivered over every link of the
+        ``src -> dst`` route (lossless fabric)."""
+        for link in self.machine.topology.route(src, dst):
+            self.link(link).bytes_received += nbytes
+
+    def _stall_edges(self, closed, opened, usage, latency=0):
+        """One trace link edge per physical link the exchange occupied:
+        the space resumes only after its transfer wins *each* link it
+        crossed (shared uplinks make crossing flows contend) and
+        transits the route latency."""
+        trace = self.machine.trace
+        topo = self.machine.topology
+        for link, busy in usage.items():
+            trace.link_edge(closed, opened, link=link, busy=busy,
+                            latency=latency, cls=topo.link_class(link).name)
 
     def _batch_sizes(self, npages):
         """Split ``npages`` into PAGE_BATCH loads (``cost.msg_batch``)."""
@@ -170,16 +217,14 @@ class Transport:
             npages -= take
         return sizes
 
-    def _ship(self, src, dst, npages):
-        """Send ``npages`` as PAGE_BATCH messages; returns wire cycles."""
+    def _ship(self, src, dst, npages, usage=None):
+        """Send ``npages`` as PAGE_BATCH messages over the route."""
         cost = self.machine.cost
-        busy = 0
         for take in self._batch_sizes(npages):
-            busy += self._send(MsgType.PAGE_BATCH, src, dst,
-                               take * (PAGE_SIZE + cost.page_hdr),
-                               pages=take)
+            self._send(MsgType.PAGE_BATCH, src, dst,
+                       take * (PAGE_SIZE + cost.page_hdr),
+                       pages=take, usage=usage)
             self.batches += 1
-        return busy
 
     # -- protocol exchanges ------------------------------------------------
 
@@ -187,19 +232,21 @@ class Transport:
         """Move ``space`` from ``src`` to ``dst``, shipping ``shipped``
         delta pages with it.
 
-        Sends MIGRATE + PAGE_BATCHes on ``src -> dst`` and an async ACK
-        back, then cuts the space's trace segment across a link edge so
-        the space resumes on ``dst`` only after the transfer serializes
-        (contending with other traffic on the link) and transits one
-        ``net_latency``.
+        Sends MIGRATE + PAGE_BATCHes along the ``src -> dst`` route and
+        an async ACK back, then cuts the space's trace segment across
+        per-link edges so the space resumes on ``dst`` only after the
+        transfer serializes on every traversed link (contending with
+        other traffic crossing those links) and transits the route's
+        total latency.
         """
         machine = self.machine
         cost = machine.cost
         self.migrations += 1
         self.pages_shipped += shipped
         machine.pages_fetched += shipped
-        busy = self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes)
-        busy += self._ship(src, dst, shipped)
+        usage = {}
+        self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes, usage=usage)
+        self._ship(src, dst, shipped, usage=usage)
         self._send(MsgType.ACK, dst, src, cost.msg_ctrl)
         # Receiver-side accounting from the exchange's own arithmetic
         # (not the per-message sends): conservation cross-checks them.
@@ -209,50 +256,76 @@ class Transport:
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.move_node(space.uid, dst)
-            trace.link_edge(closed, opened, link=(src, dst), busy=busy,
-                            latency=cost.net_latency)
+            self._stall_edges(closed, opened, usage,
+                              latency=machine.topology.route_latency(
+                                  cost, src, dst))
 
     def fetch(self, space, origin, node, npages):
         """Demand-fetch ``npages`` for ``space`` (resident on ``node``)
         from the node that produced their newest content.
 
         One PAGE_REQ out, batched PAGE_BATCHes back, async ACK.  The
-        space stalls until the response serializes on ``origin -> node``
-        and transits one ``net_latency``; the request's (small)
-        serialization contends on the forward link without adding
-        transit time of its own — the exchange is modelled as a single
-        pipelined round trip, as the seed's per-page charge was.
+        space stalls until the response serializes on every link of the
+        ``origin -> node`` route and transits the route latency; the
+        request's (small) serialization contends on the forward route
+        without adding transit time of its own — the exchange is
+        modelled as a single pipelined round trip, as the seed's
+        per-page charge was.
         """
         machine = self.machine
         cost = machine.cost
         self.pages_pulled += npages
         machine.pages_fetched += npages
-        req_busy = self._send(MsgType.PAGE_REQ, node, origin,
-                              cost.msg_ctrl + 8 * npages)
-        resp_busy = self._ship(origin, node, npages)
+        req_usage = {}
+        resp_usage = {}
+        self._send(MsgType.PAGE_REQ, node, origin,
+                   cost.msg_ctrl + 8 * npages, usage=req_usage)
+        self._ship(origin, node, npages, usage=resp_usage)
         self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
         self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
         self._receive(origin, node, npages * (PAGE_SIZE + cost.page_hdr))
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.cut(space.uid, label="fetch")
-            trace.link_edge(closed, opened, link=(node, origin),
-                            busy=req_busy)
-            trace.link_edge(closed, opened, link=(origin, node),
-                            busy=resp_busy, latency=cost.net_latency)
+            self._stall_edges(closed, opened, req_usage)
+            self._stall_edges(closed, opened, resp_usage,
+                              latency=machine.topology.route_latency(
+                                  cost, origin, node))
 
     # -- invariants --------------------------------------------------------
 
     def conservation_ok(self):
-        """True iff every link delivered exactly the bytes it sent.
+        """True iff every traversed link delivered exactly the bytes it
+        sent.
 
-        Sender bytes accumulate per message as each serializes; receiver
-        bytes are credited per *exchange* from its page counts.  The two
+        Sender bytes accumulate per message as each serializes onto each
+        link of its route; receiver bytes are credited per *exchange*
+        from its page counts, walked over the same routes.  The two
         computations agree only when no protocol step loses, duplicates,
-        or mis-sizes traffic (links themselves are lossless).
+        or mis-routes traffic (links themselves are lossless).
         """
         return all(s.bytes_sent == s.bytes_received
                    for s in self.links.values())
+
+    def class_totals(self):
+        """Per-class aggregate traffic: {class name -> dict of totals}.
+
+        Sums messages, bytes, pages, and busy cycles over every link of
+        each latency/bandwidth class — the rack-vs-core split an
+        operator reads to spot oversubscription.
+        """
+        totals = {}
+        for stats in self.links.values():
+            agg = totals.setdefault(stats.cls, {
+                "links": 0, "messages": 0, "bytes_sent": 0,
+                "pages": 0, "busy_cycles": 0,
+            })
+            agg["links"] += 1
+            agg["messages"] += stats.messages
+            agg["bytes_sent"] += stats.bytes_sent
+            agg["pages"] += stats.pages
+            agg["busy_cycles"] += stats.busy_cycles
+        return totals
 
     def __repr__(self):
         return (f"<Transport links={len(self.links)} "

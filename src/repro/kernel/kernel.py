@@ -37,7 +37,7 @@ use :func:`child_ref` to build cross-node child numbers.
 import time
 
 from repro.common.errors import BadChildError, KernelError, MergeConflictError
-from repro.kernel.space import Space, SpaceState
+from repro.kernel.space import SpaceState
 from repro.kernel.traps import Trap
 from repro.mem.merge import MergeStats, merge_range
 from repro.mem.page import PAGE_SHIFT
@@ -100,13 +100,19 @@ class Kernel:
 
         The *full* child number — node field included — is the key in
         the parent's child namespace: child 1 on node 2 and child 1 on
-        node 3 are distinct children.
+        node 3 are distinct children.  Node numbers in child references
+        are *virtual*: the machine's placement policy maps each one to a
+        physical fabric node on first use (``Machine.place``), so the
+        same program can be packed by rack affinity or striped across
+        racks without changing a line of guest code.
         """
         node_field = childno >> NODE_SHIFT
-        target = caller.home_node if node_field == 0 else node_field - 1
-        if not 0 <= target < self.machine.nnodes:
-            raise KernelError(f"node {target} does not exist")
-        return childno, target
+        if node_field == 0:
+            return childno, caller.home_node
+        vnode = node_field - 1
+        if not 0 <= vnode < self.machine.nnodes:
+            raise KernelError(f"node {vnode} does not exist")
+        return childno, self.machine.place(vnode, caller)
 
     def _lookup(self, caller, childno, create=True):
         child = caller.children.get(childno)
@@ -414,7 +420,6 @@ class Kernel:
             raise KernelError(
                 f"Merge requires a prior Snap on child of {caller.uid}"
             )
-        cost = self.machine.cost
         if merge is True:
             addr = size = None
         else:

@@ -82,6 +82,8 @@ class Machine:
         programs=None,
         dirty_tracking=True,
         ship_mode="delta",
+        topology=None,
+        placement=None,
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -136,7 +138,20 @@ class Machine:
         self.pages_fetched = 0
         # Imported lazily: the cluster package's public modules import
         # Machine, so a module-level import here would cycle.
+        from repro.cluster.placement import resolve_placement
+        from repro.cluster.topology import resolve_topology
         from repro.cluster.transport import Transport
+        #: Routed fabric the transport prices traffic over: "flat"
+        #: (legacy full mesh, the default), "two_tier", "fat_tree", or a
+        #: Topology instance/builder (see repro.cluster.topology).
+        self.topology = resolve_topology(topology, nnodes)
+        #: Placement policy mapping program-visible (virtual) node
+        #: numbers onto fabric nodes — "round_robin" (default; identity
+        #: on the flat fabric), "locality", "identity", or a
+        #: PlacementPolicy instance (see repro.cluster.placement).
+        self.placement = resolve_placement(placement)
+        #: virtual node number -> physical node (sticky; see place()).
+        self.node_map = {}
         #: Message-level interconnect all cross-node paths route through.
         self.transport = Transport(self)
 
@@ -148,6 +163,31 @@ class Machine:
 
         self._uid_counter = 0
         self._closed = False
+
+    # -- placement ----------------------------------------------------------
+
+    def place(self, vnode, caller=None):
+        """Physical node of program-visible node number ``vnode``.
+
+        The placement policy chooses on first use (reading topology and
+        live transport stats); afterwards the assignment is sticky, so a
+        program always finds its children where it left them.  The map
+        is a bijection over ``range(nnodes)`` — placement relocates
+        traffic, never semantics.
+        """
+        phys = self.node_map.get(vnode)
+        if phys is None:
+            phys = self.placement.assign(self, caller, vnode)
+            if not 0 <= phys < self.nnodes:
+                raise KernelError(
+                    f"placement policy {self.placement.name!r} returned "
+                    f"node {phys} for virtual node {vnode}")
+            if phys in self.node_map.values():
+                raise KernelError(
+                    f"placement policy {self.placement.name!r} reused "
+                    f"node {phys} (virtual node {vnode})")
+            self.node_map[vnode] = phys
+        return phys
 
     # -- space management ---------------------------------------------------
 
@@ -187,7 +227,7 @@ class Machine:
         """
         if self.root is not None:
             raise KernelError("machine already ran; create a fresh Machine")
-        root = self.new_space(None, home_node=0)
+        root = self.new_space(None, home_node=self.place(0))
         root.io_privilege = True
         root.regs["entry"] = entry
         root.regs["args"] = tuple(args)

@@ -33,7 +33,7 @@ file system must fit in an address space (§4.2).
 import struct
 
 from repro.common.errors import FileConflictError, FileSystemError
-from repro.mem.layout import FS_BASE, SCRATCH_BASE
+from repro.mem.layout import FS_BASE
 
 # ---------------------------------------------------------------------------
 # Layout constants

@@ -124,8 +124,19 @@ class CostModel:
 
     def message(self, nbytes, tcp=False):
         """Cycles consumed on the wire by one message of ``nbytes``."""
+        return self.link_message(nbytes, tcp=tcp)
+
+    def link_message(self, nbytes, byte_factor=1.0, tcp=False):
+        """Cycles one message of ``nbytes`` occupies a fabric link.
+
+        ``byte_factor`` scales the per-byte cost for the link's
+        bandwidth class (see :class:`repro.cluster.topology.LinkClass`):
+        1.0 is a full-bandwidth edge link, >1 an oversubscribed shared
+        link.  Framing (``net_msg``/``tcp_extra``) is paid per hop —
+        every switch handles the message again.
+        """
         extra = self.tcp_extra if tcp else 0
-        return int(self.net_msg + extra + nbytes * self.net_byte)
+        return int(self.net_msg + extra + nbytes * self.net_byte * byte_factor)
 
 
 #: Default model used by tests and examples.

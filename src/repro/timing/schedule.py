@@ -24,10 +24,10 @@ class ScheduleResult:
     """Outcome of scheduling a trace."""
 
     __slots__ = ("makespan", "busy", "start", "finish", "cpu_count",
-                 "link_busy")
+                 "link_busy", "class_busy")
 
     def __init__(self, makespan, busy, start, finish, cpu_count,
-                 link_busy=None):
+                 link_busy=None, class_busy=None):
         #: Total virtual time from first segment start to last finish.
         self.makespan = makespan
         #: Total CPU-busy cycles (sum of scheduled segment durations).
@@ -40,6 +40,9 @@ class ScheduleResult:
         self.cpu_count = cpu_count
         #: link -> serialization cycles the link spent occupied.
         self.link_busy = link_busy or {}
+        #: link-class name -> total serialization cycles over all links
+        #: of that class (None collects untagged edges).
+        self.class_busy = class_busy or {}
 
     @property
     def utilization(self):
@@ -79,12 +82,13 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
     succs = defaultdict(list)
     for src, dst, latency in trace.edges:
         npreds[dst] += 1
-        succs[src].append((dst, latency, None, 0))
-    for src, dst, link, busy, latency in trace.transfers:
+        succs[src].append((dst, latency, None, 0, None))
+    for src, dst, link, busy, latency, cls in trace.transfers:
         npreds[dst] += 1
-        succs[src].append((dst, latency, link, busy))
+        succs[src].append((dst, latency, link, busy, cls))
     link_free = {}      # link -> time the channel next becomes idle
     link_busy = {}      # link -> total serialization cycles
+    class_busy = {}     # link-class name -> total serialization cycles
 
     cpus_per_node = cpus_per_node or {}
 
@@ -138,7 +142,7 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         finish[seg_id] = now
         busy += seg.cycles
         free[seg.node] += 1
-        for dst, latency, link, xfer_busy in succs[seg_id]:
+        for dst, latency, link, xfer_busy, cls in succs[seg_id]:
             npreds[dst] -= 1
             if link is None:
                 arrival = now + latency
@@ -149,11 +153,11 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
                 xfer_start = max(now, link_free.get(link, 0))
                 link_free[link] = xfer_start + xfer_busy
                 link_busy[link] = link_busy.get(link, 0) + xfer_busy
+                class_busy[cls] = class_busy.get(cls, 0) + xfer_busy
                 arrival = xfer_start + xfer_busy + latency
             ready_at[dst] = max(ready_at[dst], arrival)
             if npreds[dst] == 0:
                 if ready_at[dst] > now:
-                    order_ = len(events)
                     heapq.heappush(
                         events, (ready_at[dst], 10**9 + dst, "arrive", dst)
                     )
@@ -169,7 +173,8 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         )
 
     total_cpus = sum(free[node] for node in seen_nodes) or max(1, ncpus)
-    return ScheduleResult(now, busy, start, finish, total_cpus, link_busy)
+    return ScheduleResult(now, busy, start, finish, total_cpus, link_busy,
+                          class_busy)
 
 
 def critical_path(trace):

@@ -40,10 +40,11 @@ class Trace:
         self.segments = []
         #: list of (src_segment_id, dst_segment_id, latency_cycles)
         self.edges = []
-        #: list of (src_id, dst_id, link, busy_cycles, latency_cycles) —
-        #: precedence edges that additionally *occupy* a network link
-        #: (see :meth:`link_edge`); kept separate from :attr:`edges` so
-        #: plain consumers keep their 3-tuple shape.
+        #: list of (src_id, dst_id, link, busy_cycles, latency_cycles,
+        #: cls) — precedence edges that additionally *occupy* a network
+        #: link, tagged with the link's class name (or None); see
+        #: :meth:`link_edge`.  Kept separate from :attr:`edges` so plain
+        #: consumers keep their 3-tuple shape.
         self.transfers = []
         self._open = {}   # uid -> Segment
         self._last = {}   # uid -> last closed Segment
@@ -114,19 +115,22 @@ class Trace:
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
         self.edges.append((src, dst, latency))
 
-    def link_edge(self, src_seg, dst_seg, link, busy=0, latency=0):
+    def link_edge(self, src_seg, dst_seg, link, busy=0, latency=0, cls=None):
         """Precedence edge that also serializes on a network link.
 
         ``link`` is any hashable channel identity (the cluster transport
-        uses ``(src_node, dst_node)``).  The destination becomes ready
-        only after the transfer wins the link (transfers on one link
-        contend, FIFO in completion order of their sources), occupies it
-        for ``busy`` cycles of serialization, and transits ``latency``
-        further cycles.  Neither phase consumes a CPU.
+        uses ``(endpoint, endpoint)`` pairs of fabric vertices — node
+        ints and switch names).  The destination becomes ready only
+        after the transfer wins the link (transfers on one link contend,
+        FIFO in completion order of their sources), occupies it for
+        ``busy`` cycles of serialization, and transits ``latency``
+        further cycles.  Neither phase consumes a CPU.  ``cls`` tags the
+        link's latency/bandwidth class so the scheduler can aggregate
+        occupancy per class (rack vs oversubscribed core links).
         """
         src = src_seg.id if isinstance(src_seg, Segment) else src_seg
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
-        self.transfers.append((src, dst, link, busy, latency))
+        self.transfers.append((src, dst, link, busy, latency, cls))
 
     def finish(self):
         """Close any remaining open segments (end of simulation)."""

@@ -1,9 +1,7 @@
 """Distributed-memory baseline tests."""
 
-import pytest
 
 from repro.baseline import DistLinux
-from repro.timing.model import CostModel
 
 
 def test_tree_distribution_scales():

@@ -1,6 +1,5 @@
 """Baseline Linux thread-simulator tests."""
 
-import pytest
 
 from repro.baseline import LinuxMachine
 from repro.timing.model import CostModel
@@ -82,7 +81,6 @@ def test_no_isolation_costs_in_trace():
 
 def test_lock_unlock_charges():
     def main(lt):
-        before = lt.machine.trace.total_cycles()
         lt.lock(0)
         lt.unlock(0)
 

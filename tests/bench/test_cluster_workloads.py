@@ -2,7 +2,6 @@
 
 import hashlib
 
-import pytest
 
 from repro.bench import cluster_workloads as cw
 from repro.bench.workloads.matmult import expected_checksum

@@ -7,7 +7,7 @@ benchmarks/ directory regenerates the full-size series.
 import pytest
 
 from repro.bench import figures
-from repro.bench.codesize import component_sizes, table3
+from repro.bench.codesize import table3
 
 
 def test_figure4_schedules():
@@ -58,6 +58,16 @@ def test_figure11_shapes_small():
     # matmult-tree levels off around two nodes.
     assert series["matmult-tree"][8] < 2.0
     assert series["md5-tree"][1] == pytest.approx(1.0)
+
+
+def test_figure11_topology_ordering_small():
+    series = figures.figure11_topology(node_counts=(1, 4), matmult_n=128)
+    for label in ("flat", "two-tier", "fat-tree"):
+        assert series[label][1] == pytest.approx(1.0)
+    # The flat mesh is the upper envelope; oversubscribed two-tier the
+    # lower; full-bisection fat-tree between.
+    assert series["flat"][4] >= series["fat-tree"][4]
+    assert series["fat-tree"][4] > series["two-tier"][4]
 
 
 def test_figure12_md5_comparable_and_tcp_cheap():

@@ -6,11 +6,7 @@ from repro.bench.harness import run_determinator, run_linux
 from repro.bench.workloads import (
     ALL,
     blackscholes_workload,
-    fft_workload,
-    lu_workload,
     matmult_workload,
-    md5_workload,
-    qsort_workload,
 )
 
 SMALL = {

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import Cluster, NetworkStats, sweep_nodes
+from repro.cluster import Cluster, sweep_nodes
 from repro.kernel import child_ref
 from repro.mem import PAGE_SIZE
 

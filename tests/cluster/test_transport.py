@@ -3,7 +3,7 @@ and configuration plumbing through the cluster sweep helpers."""
 
 import pytest
 
-from repro.cluster import Cluster, MsgType, sweep_nodes
+from repro.cluster import MsgType, sweep_nodes
 from repro.cluster.transport import Transport
 from repro.kernel import Machine, child_ref
 from repro.mem import PAGE_SIZE

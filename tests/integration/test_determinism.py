@@ -6,16 +6,15 @@ stacks — processes + files + threads + scheduler + cluster — several
 times and demand bit-identical results, traces, and *failures*.
 """
 
-import pytest
 
 from repro.common.errors import MergeConflictError
-from repro.kernel import Machine, Trap, child_ref
+from repro.kernel import Machine, child_ref
 from repro.mem.layout import SHARED_BASE
 from repro.runtime.dsched import det_pthreads_run
 from repro.runtime.make import Make, MakeRule
 from repro.runtime.process import unix_root
 from repro.runtime.shell import Shell
-from repro.runtime.threads import ThreadGroup, barrier_arrive
+from repro.runtime.threads import ThreadGroup
 
 
 def fingerprint(machine, result):

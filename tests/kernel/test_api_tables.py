@@ -16,7 +16,6 @@ Table 2: which options each call accepts:
 
 import inspect
 
-import pytest
 
 from repro.kernel.guest import Guest
 from repro.kernel.kernel import Kernel

@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.kernel import Machine, Trap
 from repro.kernel.space import SpaceState

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.kernel import Machine, Trap
+from repro.kernel import Machine
 
 A = 0x20_0000
 

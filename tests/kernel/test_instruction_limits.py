@@ -1,6 +1,5 @@
 """Instruction-limit tests: deterministic preemption (§3.2)."""
 
-import pytest
 
 from repro.kernel import Machine, Trap
 

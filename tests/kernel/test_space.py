@@ -3,8 +3,8 @@
 import pytest
 
 from repro.common.errors import KernelError
-from repro.kernel import Machine, Trap
-from repro.kernel.space import Space, SpaceState, fresh_regs
+from repro.kernel import Machine
+from repro.kernel.space import SpaceState, fresh_regs
 from repro.kernel.traps import Trap as TrapEnum
 
 

@@ -1,6 +1,5 @@
 """Put/Get/Ret semantics: options from the paper's Tables 1 and 2."""
 
-import pytest
 
 from repro.common.errors import MergeConflictError
 from repro.kernel import Machine, Trap

@@ -211,7 +211,7 @@ def test_read_view_of_unmapped_page_does_not_dirty_ledger():
     assert arr.sum() == 0
     assert space.frame(BASE >> 12) is not None       # materialized
     assert space.dirty_since(token) == set()          # but clean
-    warr = space.as_array(BASE, 16, writable=True)    # a write does
+    space.as_array(BASE, 16, writable=True)           # a write does
     assert space.dirty_since(token) == {BASE >> 12}
 
 

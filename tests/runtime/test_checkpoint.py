@@ -1,6 +1,5 @@
 """Checkpoint/rollback tests (Tree option, deterministic replay)."""
 
-import pytest
 
 from repro.kernel import Machine, Trap
 from repro.runtime.checkpoint import Checkpointer, run_with_checkpoints

@@ -1,6 +1,5 @@
 """Deterministic scheduler tests (legacy pthreads emulation, §4.5)."""
 
-import pytest
 
 from repro.common.errors import DeadlockError
 from repro.kernel import Machine

@@ -1,11 +1,10 @@
 """Condition-variable tests for the deterministic scheduler (§4.5)."""
 
-import pytest
 
 from repro.common.errors import DeadlockError
 from repro.kernel import Machine
 from repro.mem.layout import SHARED_BASE
-from repro.runtime.dsched import DetScheduler, det_pthreads_run
+from repro.runtime.dsched import det_pthreads_run
 
 COUNT = SHARED_BASE + 0x2000      # items produced so far
 DATA = SHARED_BASE + 0x2100       # the "queue" (slots)

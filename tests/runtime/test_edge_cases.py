@@ -1,12 +1,11 @@
 """Edge-case coverage across the user-level runtime."""
 
-import pytest
 
-from repro.kernel import Machine, Trap
+from repro.kernel import Machine
 from repro.mem.layout import SHARED_BASE
 from repro.runtime.dsched import DetScheduler
 from repro.runtime.make import Make, MakeRule
-from repro.runtime.process import ProcessRuntime, unix_root
+from repro.runtime.process import unix_root
 from repro.runtime.threads import ThreadGroup
 
 A = SHARED_BASE + 0x3000

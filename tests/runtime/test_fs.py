@@ -1,6 +1,5 @@
 """File-system unit tests: format, Unix API, versioning, reconciliation."""
 
-import pytest
 
 from repro.common.errors import FileConflictError, FileSystemError
 from repro.kernel import Machine
@@ -17,7 +16,6 @@ from repro.runtime.fs import (
     O_CREAT,
     O_EXCL,
     O_RDONLY,
-    O_RDWR,
     O_WRONLY,
     reconcile,
 )

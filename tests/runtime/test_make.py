@@ -1,6 +1,5 @@
 """Mini-make tests, including the Figure 4 scheduling semantics."""
 
-import pytest
 
 from repro.common.errors import RuntimeApiError
 from repro.kernel import Machine

@@ -1,9 +1,8 @@
 """Process runtime tests: fork/exec/wait, console I/O, PID namespaces."""
 
-import pytest
 
 from repro.kernel import Machine
-from repro.runtime.process import ProcessRuntime, unix_root
+from repro.runtime.process import unix_root
 
 
 def run_unix(init, console_input=b"", programs=None):

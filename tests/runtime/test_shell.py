@@ -1,6 +1,5 @@
 """Shell tests: built-ins, redirection, externals, determinism (§5)."""
 
-import pytest
 
 from repro.kernel import Machine
 from repro.runtime.process import unix_root

@@ -1,6 +1,5 @@
 """Shell pipeline and fd-redirection tests."""
 
-import pytest
 
 from repro.kernel import Machine
 from repro.runtime.process import unix_root

@@ -1,9 +1,8 @@
 """Shared-memory threading tests: private workspace fork/join + barriers."""
 
-import pytest
 
 from repro.common.errors import MergeConflictError
-from repro.kernel import Machine, Trap
+from repro.kernel import Machine
 from repro.mem.layout import SHARED_BASE
 from repro.runtime.threads import (
     ThreadFault,

@@ -1,6 +1,5 @@
 """Tests for explicit time inputs and supervision (§2.1)."""
 
-import pytest
 
 from repro.kernel import Machine
 from repro.runtime.process import ProcessRuntime, unix_root
