@@ -40,6 +40,22 @@ def test_fig11_cluster_speedup(once):
 
 
 @pytest.mark.slow_cluster
+def test_fig11_prefetch_series(once):
+    """The data-bound series under summary-only demand paging: the
+    async fetch queues lift the stop-and-wait envelope, compression
+    lifts it further, and the eager delta default bounds it above —
+    with the same computed value in every cell."""
+    series = once(figures.figure11_prefetch)
+    print()
+    print(figures.format_series(
+        "Figure 11 (demand paging): matmult-tree speedup", series))
+    for nodes in (4, 8):
+        assert series["pipelined"][nodes] > series["stopwait"][nodes]
+        assert series["pipelined+comp"][nodes] > series["pipelined"][nodes]
+        assert series["eager-delta"][nodes] >= series["stopwait"][nodes]
+
+
+@pytest.mark.slow_cluster
 def test_fig11_topology_series(once):
     """The data-bound series re-run per routed fabric: the flat mesh is
     the upper envelope, oversubscribed two-tier bends the knee

@@ -4,9 +4,16 @@
 Compares the JSON the ablation benchmarks just wrote to
 ``benchmarks/out/`` against the committed ``benchmarks/BENCH_*.json``
 baselines and exits nonzero when a gated metric regressed more than
-10% — e.g. matmult-tree shipping more wire bytes or finishing in more
-virtual cycles than the baseline recorded.  Non-gated keys (computed
-values, conservation flags) must merely be present.
+10% — e.g. matmult-tree shipping more wire bytes, stalling more cycles
+on demand paging, or finishing in more virtual cycles than the baseline
+recorded.  Non-gated keys (computed values, conservation flags) must
+merely be present; a baseline key absent from the fresh output — or a
+fresh key absent from the baseline — is itself a failure, at any depth,
+so a silently dropped metric can never pass the gate.
+
+On failure a per-metric diff table of every gated leaf in the failing
+files is printed, so the job summary names exactly which metric moved
+and by how much.
 
 The simulations are deterministic, so on an unchanged cost model the
 numbers match the baselines exactly; the tolerance leaves room for
@@ -27,11 +34,13 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 
 #: Leaf keys gated against the baseline (higher is a regression).
-GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops"}
+GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops",
+              "demand_stall"}
 
 
-def compare(baseline, current, path, tolerance, failures):
-    """Walk ``baseline`` recursively, recording gate violations."""
+def compare(baseline, current, path, tolerance, failures, rows):
+    """Walk ``baseline`` recursively, recording gate violations and a
+    diff row per gated leaf."""
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             failures.append(f"{path}: expected an object, got {current!r}")
@@ -41,7 +50,7 @@ def compare(baseline, current, path, tolerance, failures):
                 failures.append(f"{path}/{key}: missing from current output")
                 continue
             compare(base_value, current[key], f"{path}/{key}", tolerance,
-                    failures)
+                    failures, rows)
         # New cells or metrics must enter the baseline too, at any
         # depth, or they would never be gated.
         for key in sorted(set(current) - set(baseline)):
@@ -49,14 +58,44 @@ def compare(baseline, current, path, tolerance, failures):
                 f"{path}/{key}: present in output but missing from the "
                 f"committed baseline — regenerate it")
         return
+    if isinstance(baseline, list):
+        if not isinstance(current, list) or len(current) != len(baseline):
+            failures.append(
+                f"{path}: expected a {len(baseline)}-element list, "
+                f"got {current!r}")
+            return
+        for index, base_value in enumerate(baseline):
+            compare(base_value, current[index], f"{path}[{index}]",
+                    tolerance, failures, rows)
+        return
     leaf = path.rsplit("/", 1)[-1]
     if leaf in GATED_KEYS and isinstance(baseline, (int, float)):
-        if not isinstance(current, (int, float)):
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
             failures.append(f"{path}: non-numeric {current!r}")
-        elif current > baseline * (1 + tolerance):
+            return
+        regressed = current > baseline * (1 + tolerance)
+        rows.append((path, baseline, current, regressed))
+        if regressed:
+            over = (f"{current / baseline - 1:+.1%}" if baseline
+                    else f"+{current:,}")
             failures.append(
                 f"{path}: {current:,} exceeds baseline {baseline:,} "
-                f"by {current / baseline - 1:+.1%} (> {tolerance:.0%})")
+                f"by {over} (> {tolerance:.0%})")
+
+
+def diff_table(rows):
+    """Aligned per-metric diff of every gated leaf (worst first)."""
+    def delta(base, cur):
+        return cur / base - 1 if base else (1.0 if cur else 0.0)
+
+    lines = [f"{'metric':<58} {'baseline':>14} {'current':>14} "
+             f"{'delta':>8}  gate"]
+    for path, base, cur, regressed in sorted(
+            rows, key=lambda row: delta(row[1], row[2]), reverse=True):
+        lines.append(
+            f"{path:<58} {base:>14,} {cur:>14,} {delta(base, cur):>+8.1%}"
+            f"  {'FAIL' if regressed else 'ok'}")
+    return "\n".join(lines)
 
 
 def main(argv=None):
@@ -72,6 +111,7 @@ def main(argv=None):
         return 2
 
     failures = []
+    failing_rows = []
     for baseline_path in baselines:
         current_path = HERE / "out" / baseline_path.name
         if not current_path.exists():
@@ -82,16 +122,23 @@ def main(argv=None):
         baseline = json.loads(baseline_path.read_text())
         current = json.loads(current_path.read_text())
         before = len(failures)
+        rows = []
         compare(baseline, current, baseline_path.stem, args.tolerance,
-                failures)
-        status = "FAIL" if len(failures) > before else "ok"
-        print(f"check_regression: {baseline_path.name}: {status}")
+                failures, rows)
+        failed = len(failures) > before
+        if failed:
+            failing_rows.extend(rows)
+        print(f"check_regression: {baseline_path.name}: "
+              f"{'FAIL' if failed else 'ok'} ({len(rows)} gated metrics)")
 
     if failures:
         print(f"\n{len(failures)} regression(s) vs committed baselines:",
               file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
+        if failing_rows:
+            print("\nPer-metric diff of failing files:", file=sys.stderr)
+            print(diff_table(failing_rows), file=sys.stderr)
         return 1
     print(f"check_regression: all gated metrics within "
           f"{args.tolerance:.0%} of baselines")

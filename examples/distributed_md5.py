@@ -54,3 +54,19 @@ if __name__ == "__main__":
     stats = NetworkStats(machine)
     print("\nsame run, two-tier fabric (racks of 4, locality placement):")
     print(stats.class_table())
+
+    # And once more under summary-only demand paging with pipelined
+    # prefetch and wire compression: pages fault over as they are
+    # touched, predicted-next frames stream in behind compute, and
+    # mostly-zero payloads (like the digest page) barely touch the
+    # wire.  Same answer, of course — both features are cost-only.
+    makespan, machine, found = run_cluster(
+        md5_tree_main(LENGTH), 16, topology="two_tier:4",
+        placement="locality", ship_mode="demand", prefetch_depth=16,
+        compression=True)
+    assert found == target
+    stats = NetworkStats(machine)
+    print("\nsame run, demand paging + prefetch(16) + compression:")
+    print(stats.summary())
+    print("\nper-link compressed-vs-raw payload ledger:")
+    print(stats.compression_table())

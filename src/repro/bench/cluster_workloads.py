@@ -178,19 +178,24 @@ def matmult_tree(g, nnodes, n, seed):
 # ---------------------------------------------------------------------------
 
 def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
-                ship_mode="delta", topology=None, placement=None):
+                ship_mode="delta", topology=None, placement=None,
+                prefetch_depth=None, compression=False):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
     ``(makespan, machine, value)``; the makespan uses one CPU per node,
     as in the paper's cluster (§6.3).  ``ship_mode="full"`` selects the
-    naive every-page-every-hop migration protocol (ablation baseline);
-    ``topology``/``placement`` choose the routed fabric and the policy
-    mapping the program's node numbers onto it.
+    naive every-page-every-hop migration protocol (ablation baseline)
+    and ``ship_mode="demand"`` the summary-only protocol where pages
+    fault over on touch; ``topology``/``placement`` choose the routed
+    fabric and the policy mapping the program's node numbers onto it;
+    ``prefetch_depth``/``compression`` configure the async fetch queues
+    and PAGE_BATCH wire compression.
     """
     machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
                       ship_mode=ship_mode, topology=topology,
-                      placement=placement)
+                      placement=placement, prefetch_depth=prefetch_depth,
+                      compression=compression)
 
     def main(g):
         return entry_builder(g, nnodes)

@@ -157,6 +157,51 @@ FIG11_TOPOLOGIES = (
 )
 
 
+#: Demand-paging configurations compared by :func:`figure11_prefetch`:
+#: the summary-only migration protocol, stop-and-wait vs pipelined
+#: prefetch vs pipelined + wire compression, with the eager delta
+#: default as the envelope.
+FIG11_PREFETCH_CELLS = (
+    ("eager-delta", {}),
+    ("stopwait", {"ship_mode": "demand"}),
+    ("pipelined", {"ship_mode": "demand", "prefetch_depth": 32}),
+    ("pipelined+comp", {"ship_mode": "demand", "prefetch_depth": 32,
+                        "compression": True}),
+)
+
+
+def figure11_prefetch(node_counts=(1, 2, 4, 8), matmult_n=256,
+                      topology="two_tier:2"):
+    """Figure 11's data-bound series under demand paging, per transport
+    feature: stop-and-wait vs pipelined prefetch vs prefetch +
+    compression.
+
+    Returns ``{cell: {nodes: speedup}}`` for matmult-tree on the
+    oversubscribed two-tier fabric, all cells sharing the 1-node
+    baseline (a single node never touches the wire).  Stop-and-wait
+    demand paging is the lower envelope; the async fetch queues lift
+    it by overlapping transfers with compute, and compression lifts it
+    further by shrinking what must serialize on the core links.  The
+    eager delta-shipping default rides along as the upper envelope.
+    """
+    base_time, _, base_value = cw.run_cluster(
+        cw.matmult_tree_main(matmult_n), nnodes=1)
+    series = {}
+    for label, config in FIG11_PREFETCH_CELLS:
+        series[label] = {}
+        for nodes in node_counts:
+            if nodes == 1:
+                series[label][1] = 1.0
+                continue
+            time, _, value = cw.run_cluster(
+                cw.matmult_tree_main(matmult_n), nnodes=nodes,
+                topology=topology, **config)
+            assert value == base_value, \
+                f"{label}: result drift at {nodes} nodes"
+            series[label][nodes] = base_time / time
+    return series
+
+
 def figure11_topology(node_counts=(1, 2, 4, 8), matmult_n=256,
                       placement="round_robin"):
     """Figure 11's data-bound series, re-run per fabric.
@@ -197,16 +242,21 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
 
     Also checks the paper's §6.3 claim that TCP-like framing on the
     Determinator protocol costs < 2%: returned under key ``"tcp-impact"``
-    (measured on the data-heavy matmult-tree, the worst case).
+    (measured on the data-heavy matmult-tree, the worst case).  A
+    ``"comp-saving"`` series reports the fraction of matmult-tree's
+    page payload bytes that zero-suppression/RLE wire compression
+    removes at each cluster size (0 at one node — nothing crosses).
     """
     from repro.bench.workloads.md5 import ALPHABET, CYCLES_PER_CANDIDATE
+    from repro.cluster import NetworkStats
 
     space = len(ALPHABET) ** md5_length
     md5_total = space * CYCLES_PER_CANDIDATE
     mm_total = 2 * matmult_n ** 3 * 2  # flops * cycles-per-flop
     mm_bytes = matmult_n * matmult_n * 4
 
-    series = {"md5-tree": {}, "matmult-tree": {}, "tcp-impact": {}}
+    series = {"md5-tree": {}, "matmult-tree": {}, "tcp-impact": {},
+              "comp-saving": {}}
     for nodes in node_counts:
         det_md5, _, _ = cw.run_cluster(cw.md5_tree_main(md5_length), nodes)
         lin_md5 = DistLinux(nnodes=nodes).run_master_workers(
@@ -227,6 +277,13 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
             cw.matmult_tree_main(matmult_n), nodes, tcp_mode=True
         )
         series["tcp-impact"][nodes] = det_tcp / det_mm - 1.0
+
+        det_comp, comp_machine, _ = cw.run_cluster(
+            cw.matmult_tree_main(matmult_n), nodes, compression=True
+        )
+        assert det_comp <= det_mm, "compression must never slow a run"
+        series["comp-saving"][nodes] = \
+            1.0 - NetworkStats(comp_machine).compression_ratio()
     return series
 
 

@@ -14,7 +14,11 @@ owns *how* it crosses and what that costs:
   routed hop-by-hop over the fabric, with migration deltas and demand
   fetches coalesced into batched scatter/gather messages; every
   traversed link accrues occupancy, so shared cross-rack uplinks
-  contend in ``schedule()``;
+  contend in ``schedule()``.  Per-node *async fetch queues*
+  (``Machine(prefetch_depth=...)``) pipeline predicted-next frames
+  behind compute, and ``Machine(compression=True)`` ships PAGE_BATCH
+  payloads zero-suppressed/RLE-encoded
+  (:mod:`repro.cluster.compress`);
 * placement policies (:mod:`repro.cluster.placement`) — map
   program-visible node numbers onto fabric nodes: ``round_robin``
   stripes across racks, ``locality`` packs by communication affinity
@@ -46,11 +50,16 @@ from repro.cluster.topology import (
     TwoTierTopology,
     resolve_topology,
 )
-from repro.cluster.transport import LinkStats, MsgType, Transport
+from repro.cluster.transport import (
+    LinkStats,
+    MsgType,
+    PrefetchExchange,
+    Transport,
+)
 
 __all__ = [
     "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
-    "Transport", "MsgType", "LinkStats",
+    "Transport", "MsgType", "LinkStats", "PrefetchExchange",
     "Topology", "FlatTopology", "TwoTierTopology", "FatTreeTopology",
     "LinkClass", "resolve_topology",
     "PlacementPolicy", "RoundRobinPlacement", "LocalityAwarePlacement",

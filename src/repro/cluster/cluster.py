@@ -38,7 +38,7 @@ class Cluster:
 
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
                  dirty_tracking=True, ship_mode="delta", topology=None,
-                 placement=None):
+                 placement=None, prefetch_depth=None, compression=False):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -56,6 +56,10 @@ class Cluster:
         #: "locality", "identity", or a PlacementPolicy).
         self.topology = topology
         self.placement = placement
+        #: Async prefetch-queue depth per node (None -> cost model's
+        #: knob; 0 = stop-and-wait) and PAGE_BATCH wire compression.
+        self.prefetch_depth = prefetch_depth
+        self.compression = compression
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
@@ -64,6 +68,7 @@ class Cluster:
             cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode,
             dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
             topology=self.topology, placement=self.placement,
+            prefetch_depth=self.prefetch_depth, compression=self.compression,
         )
         with machine:
             result = machine.run(entry, args)
@@ -78,17 +83,18 @@ class Cluster:
 
 def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                 check_value=True, tcp_mode=False, dirty_tracking=True,
-                ship_mode="delta", topology=None, placement=None):
+                ship_mode="delta", topology=None, placement=None,
+                prefetch_depth=None, compression=False):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
     ``check_value`` (default) every size must compute the same value —
     distribution is semantically transparent (§3.3).  The machine
     configuration knobs (``tcp_mode``, ``dirty_tracking``,
-    ``ship_mode``, ``topology``, ``placement``) apply to *every* size,
-    so sweeps compare like with like; pass ``topology`` as a preset
-    string or an ``nnodes -> Topology`` builder, since each size gets
-    its own fabric.
+    ``ship_mode``, ``topology``, ``placement``, ``prefetch_depth``,
+    ``compression``) apply to *every* size, so sweeps compare like with
+    like; pass ``topology`` as a preset string or an ``nnodes ->
+    Topology`` builder, since each size gets its own fabric.
     """
     series = {}
     base_time = None
@@ -96,7 +102,9 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
     for nnodes in node_counts:
         cluster = Cluster(nnodes, cpus_per_node, cost, tcp_mode=tcp_mode,
                           dirty_tracking=dirty_tracking, ship_mode=ship_mode,
-                          topology=topology, placement=placement)
+                          topology=topology, placement=placement,
+                          prefetch_depth=prefetch_depth,
+                          compression=compression)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

@@ -6,8 +6,9 @@ bytes, pages, and serialization cycles per directed fabric link as the
 simulation runs.  This module turns those live counters into the
 operator-readable statistics one would read off a switch to explain why
 matmult-tree levels off at two nodes (§6.3) — no post-hoc trace rescans:
-migration hops, per-link totals, and per-class (rack vs cross-rack)
-aggregates are maintained incrementally by the transport itself.
+migration hops, per-link totals, per-class (rack vs cross-rack)
+aggregates, prefetch-queue effectiveness, and the compressed-vs-raw
+byte ledger are maintained incrementally by the transport itself.
 """
 
 from repro.mem.page import PAGE_SIZE
@@ -22,18 +23,35 @@ class NetworkStats:
         #: The fabric the traffic was routed over.
         self.topology = machine.topology.name
         #: Pages that crossed the wire over the whole run (migration
-        #: deltas plus demand fetches).
+        #: deltas, demand fetches, and speculative prefetches).
         self.pages_fetched = machine.pages_fetched
-        #: ... split by protocol path.
+        #: ... split by protocol path.  Prefetched pages are counted on
+        #: their own, never folded into the demand-pull total;
+        #: ``prefetch_used`` says how many of them a space later
+        #: actually demanded (the rest were wasted speculation).
         self.pages_shipped = transport.pages_shipped
         self.pages_pulled = transport.pages_pulled
-        #: Page payload bytes those transfers moved.
+        self.pages_prefetched = transport.pages_prefetched
+        self.prefetch_used = transport.prefetch_used
+        self.prefetch_unused = transport.prefetch_unused()
+        self.prefetch_stale = transport.prefetch_stale
+        #: Page payload bytes those transfers moved (pre-compression).
         self.bytes_moved = self.pages_fetched * PAGE_SIZE
         #: Total wire bytes including message framing, scatter/gather
         #: headers, and control traffic (PAGE_REQ/ACK), summed over
         #: every *traversed* link — an H-hop route moves its bytes H
-        #: times, as on a real switched fabric.
+        #: times, as on a real switched fabric.  Page payloads count at
+        #: their *compressed* size when the machine compresses.
         self.wire_bytes = transport.bytes_total
+        #: Page payload bytes before/after wire compression, summed over
+        #: traversed links like :attr:`wire_bytes`.  Equal when
+        #: compression is off; ``comp_bytes <= raw_bytes`` always.
+        self.raw_bytes = transport.raw_total
+        self.comp_bytes = transport.comp_total
+        #: Whether PAGE_BATCH payloads were compressed, and what the
+        #: codec cost (cycles charged as transfer latency).
+        self.compression = machine.compression
+        self.codec_cycles = transport.codec_cycles
         #: Logical messages of any type, link traversals they cost, and
         #: PAGE_BATCH messages specifically.
         self.messages = transport.messages
@@ -48,8 +66,8 @@ class NetworkStats:
         #: ``ScheduleResult.link_busy`` occupancy).
         self.wire_cycles = transport.busy_total
         #: (src, dst) -> per-link breakdown (class, messages, bytes,
-        #: pages, occupancy, message-type counts); switch-attached links
-        #: included.
+        #: pages, raw/compressed payload bytes, occupancy, message-type
+        #: counts); switch-attached links included.
         self.per_link = {
             link: stats.as_dict()
             for link, stats in sorted(transport.links.items(),
@@ -57,7 +75,7 @@ class NetworkStats:
         }
         #: link-class name -> aggregate traffic over all links of the
         #: class (the rack vs cross-rack split): links, messages,
-        #: bytes_sent, pages, busy_cycles.
+        #: bytes_sent, pages, raw_bytes, comp_bytes, busy_cycles.
         self.per_class = transport.class_totals()
         #: node -> number of distinct *frames* currently cached there
         #: (the cache keeps only each frame's newest generation, so dead
@@ -71,29 +89,60 @@ class NetworkStats:
         if not self.per_class:
             return "(no cross-node traffic)"
         lines = [f"{'class':>8} {'links':>6} {'msgs':>7} {'pages':>8} "
-                 f"{'KiB':>10} {'busy cycles':>14}"]
+                 f"{'wire KiB':>10} {'raw KiB':>10} {'busy cycles':>14}"]
         for cls, agg in sorted(self.per_class.items()):
             lines.append(
                 f"{cls:>8} {agg['links']:>6} {agg['messages']:>7} "
                 f"{agg['pages']:>8} {agg['bytes_sent'] / 1024:>10.1f} "
+                f"{agg['raw_bytes'] / 1024:>10.1f} "
                 f"{agg['busy_cycles']:>14,}"
             )
         return "\n".join(lines)
 
     def link_table(self):
-        """Per-class aggregates followed by the raw per-link rows."""
+        """Per-class aggregates followed by the raw per-link rows.
+
+        Byte columns match :meth:`class_table` and
+        :meth:`compression_table`: ``wire KiB`` is what serialized
+        (compressed payloads + framing), ``raw KiB`` the payloads'
+        pre-compression size — the same quantity under the same name
+        in every view.
+        """
         if not self.per_link:
             return "(no cross-node traffic)"
         lines = [self.class_table(), ""]
         lines.append(f"{'link':>16} {'class':>6} {'msgs':>7} {'pages':>8} "
-                     f"{'KiB':>10} {'busy cycles':>14}")
+                     f"{'wire KiB':>10} {'raw KiB':>10} {'busy cycles':>14}")
         for (src, dst), stats in self.per_link.items():
             lines.append(
                 f"{f'{src}->{dst}':>16} {stats['cls']:>6} "
                 f"{stats['messages']:>7} {stats['pages']:>8} "
                 f"{stats['bytes_sent'] / 1024:>10.1f} "
+                f"{stats['raw_bytes'] / 1024:>10.1f} "
                 f"{stats['busy_cycles']:>14,}"
             )
+        return "\n".join(lines)
+
+    def compression_table(self):
+        """Per-link compressed-vs-raw payload ledger.
+
+        One row per link that carried pages: raw payload KiB, the KiB
+        that actually serialized after zero-suppression/RLE, and the
+        saving — plus a totals row.  With compression off the columns
+        are equal and the saving reads 0%.
+        """
+        rows = [(f"{src}->{dst}", stats["raw_bytes"], stats["comp_bytes"])
+                for (src, dst), stats in self.per_link.items()
+                if stats["pages"]]
+        if not rows:
+            return "(no page payloads crossed any link)"
+        lines = [f"{'link':>16} {'raw KiB':>10} {'wire KiB':>10} "
+                 f"{'saved':>7}"]
+        for name, raw, comp in rows + [("TOTAL", self.raw_bytes,
+                                        self.comp_bytes)]:
+            saved = 1.0 - comp / raw if raw else 0.0
+            lines.append(f"{name:>16} {raw / 1024:>10.1f} "
+                         f"{comp / 1024:>10.1f} {saved:>6.1%}")
         return "\n".join(lines)
 
     def class_bytes(self, cls):
@@ -102,16 +151,33 @@ class NetworkStats:
         cross-rack volume placement policies try to shrink."""
         return self.per_class.get(cls, {}).get("bytes_sent", 0)
 
+    def compression_ratio(self):
+        """Compressed / raw payload bytes (1.0 when nothing compressed)."""
+        if not self.raw_bytes:
+            return 1.0
+        return self.comp_bytes / self.raw_bytes
+
     def summary(self):
         """One-paragraph human-readable summary."""
+        prefetch = ""
+        if self.pages_prefetched:
+            prefetch = (f", {self.pages_prefetched:,} prefetched "
+                        f"[{self.prefetch_used:,} used, "
+                        f"{self.prefetch_unused:,} unused]")
+        comp = ""
+        if self.compression:
+            comp = (f", payload compressed "
+                    f"{self.raw_bytes / 1024:.0f} -> "
+                    f"{self.comp_bytes / 1024:.0f} KiB "
+                    f"({self.compression_ratio():.0%})")
         return (
             f"{self.migrations} migration hops, "
             f"{self.pages_fetched:,} pages fetched "
             f"({self.pages_shipped:,} shipped with migrations, "
-            f"{self.pages_pulled:,} demand-pulled; "
+            f"{self.pages_pulled:,} demand-pulled{prefetch}; "
             f"{self.bytes_moved / 1024:.0f} KiB payload in "
             f"{self.messages:,} messages over {self.hops:,} link "
-            f"traversals), {self.wire_cycles:,} wire cycles over "
+            f"traversals{comp}), {self.wire_cycles:,} wire cycles over "
             f"{len(self.per_link)} {self.topology} links, "
             f"cache population: {dict(sorted(self.cached_per_node.items()))}"
         )

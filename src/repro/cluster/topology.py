@@ -102,6 +102,15 @@ class Topology:
                    * sum(self.link_class(link).latency_factor
                          for link in self.route(src, dst)))
 
+    def distance(self, src, dst):
+        """Hop count of the ``src -> dst`` route (0 = same node).
+
+        The prefetch predictor ranks candidate producer nodes by this —
+        with limited queue depth, pulling from a rack neighbor beats
+        pulling across an oversubscribed core link.
+        """
+        return len(self.route(src, dst))
+
     # -- structure read by placement policies ------------------------------
 
     def racks(self):

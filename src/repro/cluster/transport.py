@@ -15,12 +15,14 @@ Message types
     (``cost.migrate_bytes``), followed by the *delta* of its pages.
 ``PAGE_BATCH``
     A scatter/gather message moving up to ``cost.msg_batch`` pages
-    (each ``PAGE_SIZE + cost.page_hdr`` bytes on the wire), instead of
-    one message per page.
+    (each ``payload + cost.page_hdr`` bytes on the wire, where the
+    payload is 4 KiB raw or its compressed size — see below), instead
+    of one message per page.
 ``PAGE_REQ``
-    A demand-fetch request naming the wanted pages (``cost.msg_ctrl`` +
+    A page-fetch request naming the wanted pages (``cost.msg_ctrl`` +
     8 bytes per page), sent to the node that produced their newest
-    content.
+    content — either a *demand* fetch the space stalls on, or an
+    *async prefetch* for predicted-next frames that overlaps compute.
 ``ACK``
     Completion notice on the reverse route.  ACKs are fire-and-forget:
     they occupy wire bytes/messages in the accounting but never delay
@@ -47,6 +49,44 @@ serializes every node pair that crosses it, which is how
 oversubscription bends the scaling curve.  The route's total transit
 latency (sum of per-hop class latencies) is charged alongside.
 
+Pipelined prefetch
+------------------
+
+Demand fetches are stop-and-wait: the space stalls for the whole round
+trip.  With ``prefetch_depth > 0`` each node also runs an *async fetch
+queue*: the kernel predicts the frames a space will touch next
+(sequentially past a faulting range, and from the migration ledger at
+migration time) and the transport issues their PAGE_REQ/PAGE_BATCH
+exchange immediately, anchored at the segment that was open when the
+prediction fired.  Nothing stalls at issue time; the in-flight transfer
+serializes on its links *while the CPU keeps computing*.  When a later
+touch demands an in-flight frame, the whole exchange is *redeemed*:
+trace link edges run from the issue anchor to the demanding segment
+(kind ``"prefetch"``), so the scheduler charges only the part of the
+transfer that outlived the compute it hid behind — a late arrival is an
+explicit stall edge, an early one costs nothing.  Prefetched frames the
+run never demands stay in the queue and are reported as
+``prefetch_unused`` — speculative wire traffic, never folded into the
+demand-pull count.
+
+Determinism makes this aggressive pipelining safe: page content at each
+quantum boundary is fully determined, so a predicted fetch can never
+observe — or produce — different bytes than the demand fetch it
+replaces.
+
+Wire compression
+----------------
+
+With ``Machine(compression=True)`` every PAGE_BATCH payload is encoded
+per frame (:mod:`repro.cluster.compress`): all-zero frames are
+suppressed to the per-page header, mostly-zero frames ship zero-run
+RLE, and high-entropy frames fall back to raw — per-page, per-link,
+``compressed <= raw`` always.  Links account both byte counts
+(:attr:`LinkStats.raw_bytes` vs :attr:`LinkStats.comp_bytes`), encoded
+sizes are cached per frame content tag, and codec work is charged as
+transfer latency via the ``comp_encode_byte``/``comp_decode_byte``
+cost knobs.
+
 Delta shipping
 --------------
 
@@ -56,12 +96,17 @@ ablation baseline).  In ``ship_mode="delta"`` the kernel enumerates
 candidates from the dirty ledger via the space's per-node visit tokens —
 only pages written since the space last resided on the target — and the
 per-node tag cache then drops pages whose ``(serial, generation)``
-content is already present there.  See
+content is already present there.  In ``ship_mode="demand"`` the
+MIGRATE message carries only the summary and every page demand-faults
+(or prefetches) over later — the paper's baseline distributed-memory
+protocol, and the stage on which the prefetch ablation measures
+stop-and-wait against pipelined fetching.  See
 :meth:`repro.kernel.kernel.Kernel.migrate`.
 """
 
 import enum
 
+from repro.cluster import compress
 from repro.mem.page import PAGE_SIZE
 
 
@@ -78,7 +123,7 @@ class LinkStats:
     """Cumulative traffic accounting of one directed fabric link."""
 
     __slots__ = ("cls", "messages", "bytes_sent", "bytes_received", "pages",
-                 "busy_cycles", "by_type")
+                 "raw_bytes", "comp_bytes", "busy_cycles", "by_type")
 
     def __init__(self, cls="node"):
         #: Name of the link's latency/bandwidth class.
@@ -97,6 +142,12 @@ class LinkStats:
         self.bytes_received = 0
         #: Page payloads moved over the link.
         self.pages = 0
+        #: Page payload bytes *before* wire compression (``pages * 4096``).
+        self.raw_bytes = 0
+        #: Page payload bytes actually serialized (equal to
+        #: :attr:`raw_bytes` when compression is off; never above it —
+        #: the per-link compression conservation invariant).
+        self.comp_bytes = 0
         #: Serialization cycles of *every* message on the link,
         #: including fire-and-forget ACKs.  The scheduler's
         #: ``ScheduleResult.link_busy`` counts only space-stalling
@@ -114,9 +165,39 @@ class LinkStats:
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
             "pages": self.pages,
+            "raw_bytes": self.raw_bytes,
+            "comp_bytes": self.comp_bytes,
             "busy_cycles": self.busy_cycles,
             "by_type": dict(self.by_type),
         }
+
+
+class PrefetchExchange:
+    """One in-flight async PAGE_REQ/PAGE_BATCH exchange.
+
+    Issued without stalling anyone; redeemed as a unit the first time a
+    space demands any of its frames (the whole scatter/gather response
+    arrives together), at which point its link edges enter the trace.
+    """
+
+    __slots__ = ("anchor", "usage", "latency", "frames", "origin")
+
+    def __init__(self, anchor, usage, latency, frames, origin):
+        #: Trace segment (id) of the issue point (the segment closed
+        #: just before the prediction fired); the transfer's
+        #: serialization starts when it finishes.
+        self.anchor = anchor
+        #: link -> busy cycles the exchange occupies on it.
+        self.usage = usage
+        #: Route transit + codec latency of the response.
+        self.latency = latency
+        #: ``[(frame, generation-at-issue), ...]`` the exchange
+        #: carries.  Frames are live objects: a generation that moved
+        #: on by redeem time means the producer superseded the payload
+        #: in flight — those bytes are stale, not used.
+        self.frames = frames
+        #: Node the pages were pulled from.
+        self.origin = origin
 
 
 class Transport:
@@ -134,8 +215,17 @@ class Transport:
         self.migrations = 0
         #: Pages moved eagerly with migrations (delta or full ship).
         self.pages_shipped = 0
-        #: Pages moved by demand-fetch (PAGE_REQ/PAGE_BATCH exchanges).
+        #: Pages moved by stop-and-wait demand fetch.
         self.pages_pulled = 0
+        #: Pages speculatively moved by the async prefetch queues, and
+        #: how many of those a space later actually demanded.  The
+        #: difference is wasted speculative bandwidth — reported
+        #: separately, never folded into the demand-pull count.
+        self.pages_prefetched = 0
+        self.prefetch_used = 0
+        #: Prefetched frames whose content was superseded (the producer
+        #: wrote a newer generation) before any space demanded them.
+        self.prefetch_stale = 0
         #: PAGE_BATCH messages sent.
         self.batches = 0
         #: Logical protocol messages (each counted once however many
@@ -147,6 +237,20 @@ class Transport:
         #: traversed link (an H-hop route moves its bytes H times).
         self.bytes_total = 0
         self.busy_total = 0
+        #: Page payload bytes before/after wire compression, summed over
+        #: traversed links like :attr:`bytes_total` (equal when
+        #: compression is off).
+        self.raw_total = 0
+        self.comp_total = 0
+        #: Encode/decode cycles the compression codec cost (charged as
+        #: transfer latency, not link occupancy).
+        self.codec_cycles = 0
+        #: node -> {frame serial: (generation, PrefetchExchange)} — that
+        #: node's async fetch queue of in-flight predicted frames.
+        self.inflight = {}
+        #: Encoded wire size per frame content tag (content never
+        #: changes under a tag, so sizes are computed once).
+        self._wire_sizes = {}
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -158,17 +262,40 @@ class Transport:
             stats = self.links[link] = LinkStats(cls)
         return stats
 
-    def _send(self, mtype, src, dst, nbytes, pages=0, usage=None):
+    def wire_size(self, frame):
+        """Wire payload bytes of ``frame``: 4096 raw, or its encoded
+        size (cached per content tag) under compression."""
+        if not self.machine.compression:
+            return PAGE_SIZE
+        tag = frame.tag()
+        size = self._wire_sizes.get(tag)
+        if size is None:
+            size = self._wire_sizes[tag] = compress.wire_size(frame.data)
+        return size
+
+    def queue_len(self, node):
+        """In-flight prefetched frames of ``node``'s async fetch queue."""
+        return len(self.inflight.get(node, ()))
+
+    def prefetch_unused(self):
+        """Prefetched pages no space ever demanded (stale included)."""
+        return self.pages_prefetched - self.prefetch_used
+
+    def _send(self, mtype, src, dst, nbytes, pages=0, usage=None,
+              raw_payload=0, comp_payload=0):
         """Serialize one message along the fabric route ``src -> dst``.
 
         Every traversed link accrues the message's bytes, pages, and
         its class-scaled serialization cycles; ``usage`` (when given)
         collects per-link busy cycles for the caller's trace edges.
-        Only the *sending* side is accounted here; the exchange methods
-        credit ``bytes_received`` from their own arithmetic
-        (:meth:`_receive`), so the conservation invariant cross-checks
-        the two computations per physical link — e.g. a batch split
-        that loses pages shows up as a sent/received mismatch.
+        ``raw_payload``/``comp_payload`` carry the page payload's
+        pre-/post-compression byte counts for the per-link compression
+        ledger.  Only the *sending* side is accounted here; the
+        exchange methods credit ``bytes_received`` from their own
+        arithmetic (:meth:`_receive`), so the conservation invariant
+        cross-checks the two computations per physical link — e.g. a
+        batch split that loses pages shows up as a sent/received
+        mismatch.
         """
         machine = self.machine
         cost = machine.cost
@@ -182,10 +309,14 @@ class Transport:
             stats.messages += 1
             stats.bytes_sent += nbytes
             stats.pages += pages
+            stats.raw_bytes += raw_payload
+            stats.comp_bytes += comp_payload
             stats.busy_cycles += busy
             stats.by_type[mtype.name] = stats.by_type.get(mtype.name, 0) + 1
             self.hops += 1
             self.bytes_total += nbytes
+            self.raw_total += raw_payload
+            self.comp_total += comp_payload
             self.busy_total += busy
             if usage is not None:
                 usage[link] = usage.get(link, 0) + busy
@@ -196,7 +327,7 @@ class Transport:
         for link in self.machine.topology.route(src, dst):
             self.link(link).bytes_received += nbytes
 
-    def _stall_edges(self, closed, opened, usage, latency=0):
+    def _stall_edges(self, closed, opened, usage, latency=0, kind=None):
         """One trace link edge per physical link the exchange occupied:
         the space resumes only after its transfer wins *each* link it
         crossed (shared uplinks make crossing flows contend) and
@@ -205,7 +336,8 @@ class Transport:
         topo = self.machine.topology
         for link, busy in usage.items():
             trace.link_edge(closed, opened, link=link, busy=busy,
-                            latency=latency, cls=topo.link_class(link).name)
+                            latency=latency, cls=topo.link_class(link).name,
+                            kind=kind)
 
     def _batch_sizes(self, npages):
         """Split ``npages`` into PAGE_BATCH loads (``cost.msg_batch``)."""
@@ -217,20 +349,54 @@ class Transport:
             npages -= take
         return sizes
 
-    def _ship(self, src, dst, npages, usage=None):
-        """Send ``npages`` as PAGE_BATCH messages over the route."""
+    def _ship(self, src, dst, frames, usage=None):
+        """Send ``frames`` as PAGE_BATCH messages over the route.
+
+        Returns ``(payload, codec)``: total payload bytes serialized
+        (compressed when the machine compresses; headers excluded) and
+        the encode+decode cycles the codec cost.
+        """
         cost = self.machine.cost
-        for take in self._batch_sizes(npages):
+        sizes = [self.wire_size(frame) for frame in frames]
+        index = 0
+        for take in self._batch_sizes(len(frames)):
+            payload = sum(sizes[index:index + take])
             self._send(MsgType.PAGE_BATCH, src, dst,
-                       take * (PAGE_SIZE + cost.page_hdr),
-                       pages=take, usage=usage)
+                       payload + take * cost.page_hdr,
+                       pages=take, usage=usage,
+                       raw_payload=take * PAGE_SIZE, comp_payload=payload)
             self.batches += 1
+            index += take
+        payload = sum(sizes)
+        codec = 0
+        if self.machine.compression and frames:
+            codec = int(len(frames) * PAGE_SIZE * cost.comp_encode_byte
+                        + payload * cost.comp_decode_byte)
+            self.codec_cycles += codec
+        return payload, codec
+
+    def _page_exchange(self, origin, node, frames, req_usage=None,
+                       resp_usage=None):
+        """Wire accounting of one PAGE_REQ/PAGE_BATCH/ACK exchange
+        pulling ``frames`` from ``origin`` to ``node`` — shared by the
+        demand and prefetch paths so the two can never drift apart and
+        break per-link conservation.  Returns ``(payload, codec)``.
+        """
+        cost = self.machine.cost
+        npages = len(frames)
+        self._send(MsgType.PAGE_REQ, node, origin,
+                   cost.msg_ctrl + 8 * npages, usage=req_usage)
+        payload, codec = self._ship(origin, node, frames, usage=resp_usage)
+        self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
+        self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
+        self._receive(origin, node, payload + npages * cost.page_hdr)
+        return payload, codec
 
     # -- protocol exchanges ------------------------------------------------
 
     def migrate(self, space, src, dst, shipped):
-        """Move ``space`` from ``src`` to ``dst``, shipping ``shipped``
-        delta pages with it.
+        """Move ``space`` from ``src`` to ``dst``, shipping the
+        ``shipped`` delta frames with it.
 
         Sends MIGRATE + PAGE_BATCHes along the ``src -> dst`` route and
         an async ACK back, then cuts the space's trace segment across
@@ -242,61 +408,185 @@ class Transport:
         machine = self.machine
         cost = machine.cost
         self.migrations += 1
-        self.pages_shipped += shipped
-        machine.pages_fetched += shipped
+        self.pages_shipped += len(shipped)
+        machine.pages_fetched += len(shipped)
         usage = {}
         self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes, usage=usage)
-        self._ship(src, dst, shipped, usage=usage)
+        payload, codec = self._ship(src, dst, shipped, usage=usage)
         self._send(MsgType.ACK, dst, src, cost.msg_ctrl)
         # Receiver-side accounting from the exchange's own arithmetic
         # (not the per-message sends): conservation cross-checks them.
         self._receive(src, dst, cost.migrate_bytes
-                      + shipped * (PAGE_SIZE + cost.page_hdr))
+                      + payload + len(shipped) * cost.page_hdr)
         self._receive(dst, src, cost.msg_ctrl)
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.move_node(space.uid, dst)
             self._stall_edges(closed, opened, usage,
                               latency=machine.topology.route_latency(
-                                  cost, src, dst))
+                                  cost, src, dst) + codec,
+                              kind="migrate")
 
-    def fetch(self, space, origin, node, npages):
-        """Demand-fetch ``npages`` for ``space`` (resident on ``node``)
+    def fetch(self, space, origin, node, frames):
+        """Demand-fetch ``frames`` for ``space`` (resident on ``node``)
         from the node that produced their newest content.
 
         One PAGE_REQ out, batched PAGE_BATCHes back, async ACK.  The
         space stalls until the response serializes on every link of the
-        ``origin -> node`` route and transits the route latency; the
-        request's (small) serialization contends on the forward route
-        without adding transit time of its own — the exchange is
-        modelled as a single pipelined round trip, as the seed's
-        per-page charge was.
+        ``origin -> node`` route and transits the route latency (plus
+        codec time under compression); the request's (small)
+        serialization contends on the forward route without adding
+        transit time of its own — the exchange is modelled as a single
+        pipelined round trip, as the seed's per-page charge was.
         """
         machine = self.machine
-        cost = machine.cost
+        npages = len(frames)
         self.pages_pulled += npages
         machine.pages_fetched += npages
         req_usage = {}
         resp_usage = {}
-        self._send(MsgType.PAGE_REQ, node, origin,
-                   cost.msg_ctrl + 8 * npages, usage=req_usage)
-        self._ship(origin, node, npages, usage=resp_usage)
-        self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
-        self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
-        self._receive(origin, node, npages * (PAGE_SIZE + cost.page_hdr))
+        _, codec = self._page_exchange(origin, node, frames,
+                                       req_usage=req_usage,
+                                       resp_usage=resp_usage)
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.cut(space.uid, label="fetch")
-            self._stall_edges(closed, opened, req_usage)
+            self._stall_edges(closed, opened, req_usage, kind="fetch")
             self._stall_edges(closed, opened, resp_usage,
                               latency=machine.topology.route_latency(
-                                  cost, origin, node))
+                                  machine.cost, origin, node) + codec,
+                              kind="fetch")
+
+    def prefetch(self, space, origin, node, frames):
+        """Asynchronously issue a PAGE_REQ/PAGE_BATCH exchange pulling
+        predicted-next ``frames`` to ``node`` — nobody stalls.
+
+        The exchange's wire traffic is accounted immediately (it is on
+        the links now, whether or not anyone ends up wanting it) and
+        queued on ``node``'s async fetch queue, anchored at ``space``'s
+        most recently *closed* segment — callers issue prefetches right
+        after a cut (a demand fetch's, or a migration's), so in the
+        schedule the transfer's serialization starts at the issue point
+        and overlaps whatever compute follows.  A later demand on any
+        of the frames redeems the exchange (:meth:`redeem_exchanges`
+        via :meth:`take_inflight`).
+        """
+        machine = self.machine
+        npages = len(frames)
+        if npages == 0 or origin == node:
+            return
+        self.pages_prefetched += npages
+        machine.pages_fetched += npages
+        usage = {}
+        _, codec = self._page_exchange(origin, node, frames,
+                                       req_usage=usage, resp_usage=usage)
+        trace = machine.trace
+        last = trace.last_closed(space.uid)
+        anchor = last.id if last is not None else None
+        latency = (machine.topology.route_latency(machine.cost, origin, node)
+                   + codec)
+        exchange = PrefetchExchange(
+            anchor, usage, latency,
+            [(frame, frame.generation) for frame in frames], origin)
+        queue = self.inflight.setdefault(node, {})
+        for frame in frames:
+            queue[frame.serial] = (frame.generation, exchange)
+
+    def take_inflight(self, node, serial, generation):
+        """Claim an in-flight prefetched frame for a demand on it.
+
+        Returns the frame's :class:`PrefetchExchange` when ``node``'s
+        queue holds ``serial`` at exactly ``generation``; a queue entry
+        at a superseded generation is dropped (and counted stale) —
+        its bytes were wasted and the caller must demand-fetch the
+        fresh content.
+        """
+        queue = self.inflight.get(node)
+        if not queue or serial not in queue:
+            return None
+        held_generation, exchange = queue.pop(serial)
+        if held_generation != generation:
+            self.prefetch_stale += 1
+            return None
+        self.prefetch_used += 1
+        return exchange
+
+    def redeem_exchanges(self, space, node, exchanges):
+        """A space demanded in-flight prefetched frames: stall it until
+        their exchanges arrive, and land every frame they carry.
+
+        Cuts the space's segment once and draws each exchange's link
+        edges from its issue *anchor* to the newly opened segment
+        (kind ``"prefetch"``) — the scheduler then charges only the
+        part of each transfer that outlived the compute between issue
+        and demand; an early arrival stalls nothing.  All frames of a
+        redeemed exchange enter the node's tag cache (the scatter/
+        gather response arrived as a unit).
+        """
+        machine = self.machine
+        trace = machine.trace
+        cache = machine.node_cache[node]
+        queue = self.inflight.get(node, {})
+        opened = None
+        if trace.is_open(space.uid):
+            _, opened = trace.cut(space.uid, label="prefetch-wait")
+        for exchange in exchanges:
+            for frame, generation in exchange.frames:
+                # Only tags still queued land here: the tag that
+                # triggered the redeem was claimed (and counted used)
+                # by take_inflight.
+                entry = queue.get(frame.serial)
+                if entry is None or entry[1] is not exchange:
+                    continue
+                del queue[frame.serial]
+                if frame.generation != generation:
+                    # The producer superseded this sibling in flight:
+                    # its arrived bytes carry a dead generation and
+                    # must not enter the cache (a demand on the fresh
+                    # tag will fetch it properly).
+                    self.prefetch_stale += 1
+                    continue
+                self.prefetch_used += 1
+                if cache.get(frame.serial, -1) < generation:
+                    cache[frame.serial] = generation
+            if opened is not None and exchange.anchor is not None:
+                self._stall_edges(exchange.anchor, opened, exchange.usage,
+                                  latency=exchange.latency, kind="prefetch")
+
+    def flush_inflight(self, kind="prefetch-unused"):
+        """End-of-run accounting for exchanges nobody ever redeemed.
+
+        Their wire bytes were counted at issue, but without a
+        demanding segment their serialization never entered the trace —
+        and on a shared link, speculative traffic delays everyone
+        whether or not it is wanted.  For each still-queued exchange
+        this emits its link edges from the issue anchor into a fresh
+        zero-cycle *sink* segment (no space waits on it), so
+        ``schedule()`` makes mispredicted prefetches contend with real
+        transfers and reports their residue under ``kind``.  Called by
+        the machine once the run drains; queues are cleared, so a
+        second call is a no-op.
+        """
+        trace = self.machine.trace
+        flushed = set()
+        for node in sorted(self.inflight):
+            queue = self.inflight[node]
+            for _, exchange in queue.values():
+                if id(exchange) in flushed or exchange.anchor is None:
+                    continue
+                flushed.add(id(exchange))
+                sink = trace.begin(f"~{kind}{len(flushed)}@{node}",
+                                   node=node, label=kind)
+                trace.end(sink.uid)
+                self._stall_edges(exchange.anchor, sink, exchange.usage,
+                                  latency=exchange.latency, kind=kind)
+            queue.clear()
 
     # -- invariants --------------------------------------------------------
 
     def conservation_ok(self):
         """True iff every traversed link delivered exactly the bytes it
-        sent.
+        sent — and never compressed a payload *up*.
 
         Sender bytes accumulate per message as each serializes onto each
         link of its route; receiver bytes are credited per *exchange*
@@ -305,6 +595,7 @@ class Transport:
         or mis-routes traffic (links themselves are lossless).
         """
         return all(s.bytes_sent == s.bytes_received
+                   and s.comp_bytes <= s.raw_bytes
                    for s in self.links.values())
 
     def class_totals(self):
@@ -318,16 +609,21 @@ class Transport:
         for stats in self.links.values():
             agg = totals.setdefault(stats.cls, {
                 "links": 0, "messages": 0, "bytes_sent": 0,
-                "pages": 0, "busy_cycles": 0,
+                "pages": 0, "raw_bytes": 0, "comp_bytes": 0,
+                "busy_cycles": 0,
             })
             agg["links"] += 1
             agg["messages"] += stats.messages
             agg["bytes_sent"] += stats.bytes_sent
             agg["pages"] += stats.pages
+            agg["raw_bytes"] += stats.raw_bytes
+            agg["comp_bytes"] += stats.comp_bytes
             agg["busy_cycles"] += stats.busy_cycles
         return totals
 
     def __repr__(self):
         return (f"<Transport links={len(self.links)} "
-                f"msgs={self.messages} pages="
-                f"{self.pages_shipped + self.pages_pulled}>")
+                f"msgs={self.messages} "
+                f"pages={self.pages_shipped + self.pages_pulled}"
+                f"+{self.pages_prefetched}pf "
+                f"({self.prefetch_used} used)>")

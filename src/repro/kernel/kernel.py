@@ -144,54 +144,136 @@ class Kernel:
         target's tag cache drops the ones whose content already lives
         there.  The transport coalesces the survivors into batched
         scatter/gather messages behind a MIGRATE header.
+
+        In ``ship_mode="demand"`` nothing ships eagerly: the same
+        ledger enumeration instead seeds the *async prefetch queue* —
+        the pages written since the space last visited the target are
+        exactly the ones about to fault there, so their fetch is issued
+        pipelined behind the MIGRATE message while the space resumes
+        computing (migration-ledger-informed prediction).
         """
         if target_node == space.cur_node:
             return
         machine = self.machine
         cost = machine.cost
         src = space.cur_node
-        shipped, walked, tracked = self._migration_delta(space, target_node)
+        shipped, walked, tracked, candidates = \
+            self._migration_delta(space, target_node)
         # CPU-side work: pack register state + walk the candidate set
         # (ledger entries with tracking, PTEs without).
         self.kcharge(space, cost.migrate_base
                      + walked * (cost.page_track if tracked
                                  else cost.page_scan))
+        # Ledger harvest for the predictor: what this space wrote while
+        # resident at src is what src will be asked to serve next.
+        machine.note_dirty_hints(src, candidates)
         space.visit_tokens[src] = space.addrspace.dirty_token()
         machine.transport.migrate(space, src, target_node, shipped)
         space.cur_node = target_node
+        if machine.ship_mode == "demand":
+            self._issue_prefetch(space, target_node, candidates)
 
     def _migration_delta(self, space, target_node):
-        """Pages to ship with a migration: ``(shipped, walked, tracked)``.
+        """Pages to ship with a migration:
+        ``(shipped_frames, walked, tracked, candidates)``.
 
         Registers every shipped page's content tag in the target node's
         cache (the pages really arrive there).  ``walked`` counts
         enumeration work for cost charging; ``tracked`` says whether the
         dirty ledger answered (cheap per entry) or a full mapped-page
-        walk was needed.
+        walk was needed; ``candidates`` is the enumerated vpn set (the
+        predictor's input).  In ``ship_mode="demand"`` no frames ship
+        and no enumeration work is charged — the MIGRATE message
+        carries only the summary.
         """
         machine = self.machine
         aspace = space.addrspace
         cache = machine.node_cache[target_node]
-        full = machine.ship_mode == "full"
+        mode = machine.ship_mode
         candidates = None
         tracked = False
-        if not full:
+        if mode != "full":
             token = space.visit_tokens.get(target_node)
             if token is not None:
                 candidates = aspace.dirty_vpns_since(token)
                 tracked = candidates is not None
         if candidates is None:
             candidates = aspace.mapped_vpns()
-        shipped = 0
+        if mode == "demand":
+            return [], 0, tracked, candidates
+        shipped = []
         for vpn in candidates:
             frame = aspace.frame(vpn)
             if frame is None:
                 continue
-            if not full and cache.get(frame.serial) == frame.generation:
+            if mode != "full" and cache.get(frame.serial) == frame.generation:
                 continue
             cache[frame.serial] = frame.generation
-            shipped += 1
-        return shipped, len(candidates), tracked
+            shipped.append(frame)
+        return shipped, len(candidates), tracked, candidates
+
+    def _issue_prefetch(self, space, node, vpn_stream, hint_origins=()):
+        """Fill ``node``'s async fetch queue with predicted-next frames.
+
+        ``vpn_stream`` is the prediction, in priority order (the
+        sequential window past a faulting range, or the migration
+        ledger's candidate set); ``hint_origins`` optionally extends it
+        with each named node's recently written vpns
+        (``machine.dirty_hints``), nearest fabric neighbors first.
+        Candidates already cached, already in flight, or served locally
+        are skipped; at most ``prefetch_depth - in_flight`` issue, so
+        the queue never exceeds its depth.  Must run right after a cut
+        (the transport anchors the exchange at the last closed
+        segment).
+        """
+        machine = self.machine
+        depth = machine.prefetch_depth
+        if depth <= 0 or machine.nnodes <= 1:
+            return
+        transport = machine.transport
+        budget = depth - transport.queue_len(node)
+        if budget <= 0:
+            return
+        aspace = space.addrspace
+        cache = machine.node_cache[node]
+        origin_of = machine.frame_origin
+        queue = transport.inflight.get(node, {})
+        by_origin = {}
+        seen = set()
+        walked = 0
+
+        def consider(vpn):
+            frame = aspace.frame(vpn)
+            if frame is None or frame.serial in seen:
+                return 0
+            seen.add(frame.serial)
+            if cache.get(frame.serial) == frame.generation:
+                return 0
+            if frame.serial in queue:
+                return 0
+            origin = origin_of.get(frame.serial, space.home_node)
+            if origin == node:
+                return 0
+            by_origin.setdefault(origin, []).append(frame)
+            return 1
+
+        for vpn in vpn_stream:
+            if budget <= 0:
+                break
+            walked += 1
+            budget -= consider(vpn)
+        topo = machine.topology
+        for origin in sorted(hint_origins,
+                             key=lambda o: (topo.distance(o, node), o)):
+            for vpn in reversed(machine.dirty_hints.get(origin, ())):
+                if budget <= 0:
+                    break
+                walked += 1
+                budget -= consider(vpn)
+        # The predictor walks ledger entries, not page tables.
+        self.kcharge(space, walked * machine.cost.page_track)
+        for origin in sorted(by_origin):
+            transport.prefetch(space, origin, node, by_origin[origin])
 
     def touch(self, space, addr, size, write=False):
         """Cluster demand paging: account for page fetches when a space
@@ -206,7 +288,13 @@ class Kernel:
 
         Misses are pulled through the transport as one batched
         PAGE_REQ/PAGE_BATCH exchange per producing node — a scatter/
-        gather round trip, not N independent per-page fetches.
+        gather round trip, not N independent per-page fetches.  A miss
+        already *in flight* on the node's async prefetch queue redeems
+        its exchange instead: the space waits only for whatever part of
+        the transfer the compute since its issue did not hide.  Each
+        demand batch also re-primes the queue with the predicted next
+        frames (sequential past the faulted range, plus the producing
+        nodes' recent-write hints).
         """
         machine = self.machine
         if machine.nnodes <= 1 or size == 0:
@@ -214,11 +302,13 @@ class Kernel:
         node = space.cur_node
         cache = machine.node_cache[node]
         origin_of = machine.frame_origin
+        transport = machine.transport
         aspace = space.addrspace
         vpn0 = addr >> PAGE_SHIFT
         vpn1 = (addr + size - 1) >> PAGE_SHIFT
         # vpn-ascending batched pulls, grouped by producing node.
         fetch_by_origin = {}
+        redeems = []
         # Unmapped vpns have nothing to fetch or cache.  Walk whichever
         # side is smaller: the range itself (scalar accesses stay O(1))
         # or the mapped-page set (huge sparse ranges — whole-share
@@ -238,13 +328,27 @@ class Kernel:
             if write:
                 cache[frame.serial] = frame.generation
                 origin_of[frame.serial] = node
+                machine.note_dirty_hints(node, (vpn,))
             elif cache.get(frame.serial) != frame.generation:
+                exchange = transport.take_inflight(node, frame.serial,
+                                                   frame.generation)
                 cache[frame.serial] = frame.generation
-                origin = origin_of.get(frame.serial, space.home_node)
-                fetch_by_origin[origin] = fetch_by_origin.get(origin, 0) + 1
+                if exchange is not None:
+                    if exchange not in redeems:
+                        redeems.append(exchange)
+                else:
+                    origin = origin_of.get(frame.serial, space.home_node)
+                    fetch_by_origin.setdefault(origin, []).append(frame)
+        if redeems:
+            transport.redeem_exchanges(space, node, redeems)
         for origin in sorted(fetch_by_origin):
-            machine.transport.fetch(space, origin, node,
-                                    fetch_by_origin[origin])
+            transport.fetch(space, origin, node, fetch_by_origin[origin])
+        if fetch_by_origin and not write and machine.prefetch_depth > 0:
+            self._issue_prefetch(space, node,
+                                 aspace.mapped_vpns_in(
+                                     vpn1 + 1,
+                                     vpn1 + 1 + 4 * machine.prefetch_depth),
+                                 hint_origins=sorted(fetch_by_origin))
 
     def _copy_subtree(self, caller, src_space, new_parent):
         """Deep COW clone of a space subtree (Tree option)."""
@@ -471,6 +575,9 @@ class Kernel:
                 if frame is not None:
                     cache[frame.serial] = frame.generation
                     self.machine.frame_origin[frame.serial] = node
+            # Merged-in pages are fresh cross-node content: feed the
+            # prefetch predictor's per-node recent-write hints.
+            self.machine.note_dirty_hints(node, written)
         # Dirty-ledger enumeration inspects a ledger entry per candidate
         # (page_track); a page-table scan inspects a PTE (page_scan).
         scan_cost = cost.page_track if stats.tracked else cost.page_scan

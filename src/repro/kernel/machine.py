@@ -84,6 +84,8 @@ class Machine:
         ship_mode="delta",
         topology=None,
         placement=None,
+        prefetch_depth=None,
+        compression=False,
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -101,10 +103,27 @@ class Machine:
         #: whose content the target node does not already hold (visit
         #: tokens answered from the dirty ledger + per-node tag cache);
         #: ``"full"`` re-ships every mapped page on every hop (the naive
-        #: protocol, kept as the delta-ship ablation baseline).
-        if ship_mode not in ("delta", "full"):
+        #: protocol, kept as the delta-ship ablation baseline);
+        #: ``"demand"`` ships nothing eagerly — the MIGRATE message
+        #: carries only the address-space summary and pages fault over
+        #: on first touch (the paper's baseline §3.3 protocol, and the
+        #: stage for the stop-and-wait vs pipelined-prefetch ablation).
+        if ship_mode not in ("delta", "full", "demand"):
             raise ValueError(f"unknown ship_mode {ship_mode!r}")
         self.ship_mode = ship_mode
+        #: Depth of each node's async prefetch queue: how many
+        #: predicted-next frames may be in flight per node.  ``None``
+        #: takes the cost model's ``prefetch_depth`` knob; 0 is
+        #: stop-and-wait (every page crosses only inside a demand round
+        #: trip or a migration delta).
+        depth = self.cost.prefetch_depth if prefetch_depth is None \
+            else prefetch_depth
+        if depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {depth}")
+        self.prefetch_depth = depth
+        #: Wire compression of PAGE_BATCH payloads (zero-page
+        #: suppression + zero-run RLE; see repro.cluster.compress).
+        self.compression = bool(compression)
         #: Machine-owned frame serial source (no cross-machine state).
         self.frames = FrameAllocator()
 
@@ -133,6 +152,11 @@ class Machine:
         #: frame serial -> node that produced its newest content; the
         #: transport pulls demand-fetched pages from there.
         self.frame_origin = {}
+        #: node -> recent vpns written by spaces while resident there
+        #: (harvested from the migration ledger and merge write-backs).
+        #: The prefetch predictor reads a miss's producing node's list
+        #: to guess what that producer will be asked for next.
+        self.dirty_hints = defaultdict(list)
         #: Total pages that crossed the wire (migration-shipped plus
         #: demand-fetched; the transport keeps the split).
         self.pages_fetched = 0
@@ -163,6 +187,21 @@ class Machine:
 
         self._uid_counter = 0
         self._closed = False
+
+    # -- cluster bookkeeping -------------------------------------------------
+
+    #: Bound on each node's dirty-hint list (predictor input, not state
+    #: the simulation depends on — determinism needs the *content* to be
+    #: reproducible, which it is, not unbounded).
+    DIRTY_HINT_CAP = 128
+
+    def note_dirty_hints(self, node, vpns):
+        """Record recently written vpns at ``node`` for the prefetch
+        predictor, newest last, bounded by :data:`DIRTY_HINT_CAP`."""
+        hints = self.dirty_hints[node]
+        hints.extend(vpns)
+        if len(hints) > self.DIRTY_HINT_CAP:
+            del hints[:len(hints) - self.DIRTY_HINT_CAP]
 
     # -- placement ----------------------------------------------------------
 
@@ -237,6 +276,9 @@ class Machine:
         self.trace.begin(root.uid, node=0, label="root")
         self.engine.run_until_stopped(root)
         self._drain()
+        # Mispredicted prefetches still in flight must occupy their
+        # links in the schedule even though nobody waits on them.
+        self.transport.flush_inflight()
         self.trace.finish()
         return MachineResult(self)
 

@@ -109,6 +109,22 @@ class CostModel:
     #: Payload bytes of a MIGRATE message: register file plus the
     #: address-space summary that lets the target demand-fault the rest.
     migrate_bytes: int = 512
+    #: Default depth of each node's async prefetch queue: how many
+    #: predicted-next frames may be in flight (issued but not yet
+    #: demanded) per node.  0 reproduces the stop-and-wait protocol —
+    #: every page crosses only inside a demand round trip.  A
+    #: ``Machine(prefetch_depth=...)`` argument overrides this.
+    prefetch_depth: int = 0
+    #: Encode cost of wire compression, in cycles per *raw* payload
+    #: byte scanned at the sending node (zero-run RLE is a single
+    #: sequential pass).  Charged as pipeline latency on the transfer,
+    #: never as link occupancy — the codec runs beside the NIC, not on
+    #: the wire.
+    comp_encode_byte: float = 1.0
+    #: Decode cost, in cycles per *compressed* payload byte expanded at
+    #: the receiving node (zero pages decode for free: a mapping to the
+    #: shared zero frame, not a memset).
+    comp_decode_byte: float = 0.5
 
     # ---- Misc -----------------------------------------------------------
     extras: dict = field(default_factory=dict)

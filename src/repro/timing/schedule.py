@@ -14,6 +14,15 @@ occupy a network channel: a transfer must win its link, serialize for
 ``busy`` cycles (overlapping transfers on the same link contend, in
 deterministic source-finish order), then transit ``latency`` cycles.
 Per-link occupancy totals are reported on the result.
+
+A link transfer becomes eligible when its *source* segment finishes —
+which may be long before the destination's program-order predecessor
+does.  An async prefetch anchored at an early segment therefore
+overlaps its serialization with CPU busy instead of serializing with
+it; only the part of the transfer that outlives the compute it hides
+behind stalls the destination.  That residue is reported per transfer
+kind in :attr:`ScheduleResult.stall_cycles` — the demand-stall metric
+the prefetch ablation gates.
 """
 
 import heapq
@@ -24,10 +33,10 @@ class ScheduleResult:
     """Outcome of scheduling a trace."""
 
     __slots__ = ("makespan", "busy", "start", "finish", "cpu_count",
-                 "link_busy", "class_busy")
+                 "link_busy", "class_busy", "stall_cycles")
 
     def __init__(self, makespan, busy, start, finish, cpu_count,
-                 link_busy=None, class_busy=None):
+                 link_busy=None, class_busy=None, stall_cycles=None):
         #: Total virtual time from first segment start to last finish.
         self.makespan = makespan
         #: Total CPU-busy cycles (sum of scheduled segment durations).
@@ -43,6 +52,13 @@ class ScheduleResult:
         #: link-class name -> total serialization cycles over all links
         #: of that class (None collects untagged edges).
         self.class_busy = class_busy or {}
+        #: transfer kind ("fetch", "prefetch", "migrate", ...) -> cycles
+        #: destinations actually *waited* on transfers of that kind
+        #: beyond their program-order readiness.  A fully overlapped
+        #: prefetch contributes zero here even though it occupied its
+        #: links; a stop-and-wait demand round trip contributes its
+        #: whole transfer.
+        self.stall_cycles = stall_cycles or {}
 
     @property
     def utilization(self):
@@ -82,13 +98,14 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
     succs = defaultdict(list)
     for src, dst, latency in trace.edges:
         npreds[dst] += 1
-        succs[src].append((dst, latency, None, 0, None))
-    for src, dst, link, busy, latency, cls in trace.transfers:
+        succs[src].append((dst, latency, None, 0, None, None))
+    for src, dst, link, busy, latency, cls, kind in trace.transfers:
         npreds[dst] += 1
-        succs[src].append((dst, latency, link, busy, cls))
+        succs[src].append((dst, latency, link, busy, cls, kind))
     link_free = {}      # link -> time the channel next becomes idle
     link_busy = {}      # link -> total serialization cycles
     class_busy = {}     # link-class name -> total serialization cycles
+    stall_cycles = {}   # transfer kind -> cycles destinations waited
 
     cpus_per_node = cpus_per_node or {}
 
@@ -99,6 +116,13 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
     seen_nodes = set()
     ready = defaultdict(list)      # node -> heap of (seg_id)
     ready_at = [0] * len(segments)
+    # Per destination: when it would be ready with an infinitely fast
+    # network (program order + plain-edge latency), and the kind of the
+    # latest-arriving link transfer.  Their gap is the transfer-induced
+    # stall charged to that kind.
+    ready_nonet = [0] * len(segments)
+    link_ready = [0] * len(segments)
+    link_kind = [None] * len(segments)
     start = {}
     finish = {}
     events = []                    # heap of (time, order, kind, payload)
@@ -142,10 +166,11 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         finish[seg_id] = now
         busy += seg.cycles
         free[seg.node] += 1
-        for dst, latency, link, xfer_busy, cls in succs[seg_id]:
+        for dst, latency, link, xfer_busy, cls, kind in succs[seg_id]:
             npreds[dst] -= 1
             if link is None:
                 arrival = now + latency
+                ready_nonet[dst] = max(ready_nonet[dst], arrival)
             else:
                 # The transfer waits for the channel, serializes on it,
                 # then transits; contention order follows the (already
@@ -155,8 +180,18 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
                 link_busy[link] = link_busy.get(link, 0) + xfer_busy
                 class_busy[cls] = class_busy.get(cls, 0) + xfer_busy
                 arrival = xfer_start + xfer_busy + latency
+                # With an infinitely fast network the data would be
+                # ready the instant its producer finished.
+                ready_nonet[dst] = max(ready_nonet[dst], now)
+                if arrival >= link_ready[dst]:
+                    link_ready[dst] = arrival
+                    link_kind[dst] = kind or cls or "link"
             ready_at[dst] = max(ready_at[dst], arrival)
             if npreds[dst] == 0:
+                stall = ready_at[dst] - ready_nonet[dst]
+                if stall > 0 and link_kind[dst] is not None:
+                    stall_cycles[link_kind[dst]] = (
+                        stall_cycles.get(link_kind[dst], 0) + stall)
                 if ready_at[dst] > now:
                     heapq.heappush(
                         events, (ready_at[dst], 10**9 + dst, "arrive", dst)
@@ -174,7 +209,7 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
 
     total_cpus = sum(free[node] for node in seen_nodes) or max(1, ncpus)
     return ScheduleResult(now, busy, start, finish, total_cpus, link_busy,
-                          class_busy)
+                          class_busy, stall_cycles)
 
 
 def critical_path(trace):

@@ -41,8 +41,9 @@ class Trace:
         #: list of (src_segment_id, dst_segment_id, latency_cycles)
         self.edges = []
         #: list of (src_id, dst_id, link, busy_cycles, latency_cycles,
-        #: cls) — precedence edges that additionally *occupy* a network
-        #: link, tagged with the link's class name (or None); see
+        #: cls, kind) — precedence edges that additionally *occupy* a
+        #: network link, tagged with the link's class name and the
+        #: protocol purpose of the transfer (both may be None); see
         #: :meth:`link_edge`.  Kept separate from :attr:`edges` so plain
         #: consumers keep their 3-tuple shape.
         self.transfers = []
@@ -115,7 +116,8 @@ class Trace:
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
         self.edges.append((src, dst, latency))
 
-    def link_edge(self, src_seg, dst_seg, link, busy=0, latency=0, cls=None):
+    def link_edge(self, src_seg, dst_seg, link, busy=0, latency=0, cls=None,
+                  kind=None):
         """Precedence edge that also serializes on a network link.
 
         ``link`` is any hashable channel identity (the cluster transport
@@ -126,11 +128,15 @@ class Trace:
         ``busy`` cycles of serialization, and transits ``latency``
         further cycles.  Neither phase consumes a CPU.  ``cls`` tags the
         link's latency/bandwidth class so the scheduler can aggregate
-        occupancy per class (rack vs oversubscribed core links).
+        occupancy per class (rack vs oversubscribed core links);
+        ``kind`` tags the transfer's protocol purpose ("migrate",
+        "fetch", "prefetch", ...) so stall time can be attributed —
+        notably the explicit stall edges a *late-arriving* prefetched
+        page charges, versus a stop-and-wait demand round trip.
         """
         src = src_seg.id if isinstance(src_seg, Segment) else src_seg
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg
-        self.transfers.append((src, dst, link, busy, latency, cls))
+        self.transfers.append((src, dst, link, busy, latency, cls, kind))
 
     def finish(self):
         """Close any remaining open segments (end of simulation)."""

@@ -1,0 +1,117 @@
+"""Wire-compression codec: round-trip, size bounds, scheme selection."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import compress
+from repro.mem.page import PAGE_SIZE
+
+
+def _page(data=b"", fill=0):
+    """A full page: ``data`` padded with ``fill`` bytes."""
+    return bytes(data) + bytes([fill]) * (PAGE_SIZE - len(data))
+
+
+def _rng_bytes(seed, n=PAGE_SIZE):
+    """Deterministic pseudo-random bytes (no global RNG state)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < n:
+        out += hashlib.sha256(f"{seed}:{counter}".encode()).digest()
+        counter += 1
+    return bytes(out[:n])
+
+
+# -- scheme selection ------------------------------------------------------
+
+def test_zero_page_suppressed():
+    scheme, payload = compress.encode_page(_page())
+    assert scheme == compress.SCHEME_ZERO
+    assert payload == b""
+    assert compress.wire_size(_page()) == 0
+
+
+def test_sparse_page_rle_much_smaller():
+    """A page holding 32 payload bytes (the md5 digest page shape)."""
+    scheme, payload = compress.encode_page(_page(b"d" * 32))
+    assert scheme == compress.SCHEME_RLE
+    assert len(payload) < 100
+
+
+def test_small_int32_array_compresses():
+    """Little-endian int32 values < 256: one payload byte, three zero
+    bytes — the shape of matmult's input matrices."""
+    import numpy as np
+    data = np.arange(1, 1025, dtype="<i4") % 99 + 1
+    scheme, payload = compress.encode_page(data.tobytes())
+    assert scheme == compress.SCHEME_RLE
+    assert len(payload) <= 3 * PAGE_SIZE // 4
+
+
+def test_random_page_falls_back_to_raw():
+    data = _rng_bytes("entropy")
+    scheme, payload = compress.encode_page(data)
+    assert scheme == compress.SCHEME_RAW
+    assert payload == data
+    assert compress.wire_size(data) == PAGE_SIZE
+
+
+# -- round-trip properties -------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=0, max_size=64), st.integers(0, 255))
+def test_roundtrip_padded_pages(prefix, fill):
+    """Constant-fill pages with an arbitrary prefix round-trip."""
+    data = _page(prefix, fill)
+    scheme, payload = compress.encode_page(data)
+    assert compress.decode_page(scheme, payload) == data
+    assert len(payload) <= PAGE_SIZE
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, PAGE_SIZE - 1),
+                          st.binary(min_size=1, max_size=200)),
+                max_size=8))
+def test_roundtrip_sparse_scatter(writes):
+    """Pages with scattered literal islands in a zero sea round-trip,
+    and never encode above raw size."""
+    page = bytearray(PAGE_SIZE)
+    for offset, blob in writes:
+        blob = blob[:PAGE_SIZE - offset]
+        page[offset:offset + len(blob)] = blob
+    data = bytes(page)
+    scheme, payload = compress.encode_page(data)
+    assert compress.decode_page(scheme, payload) == data
+    assert len(payload) <= PAGE_SIZE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32))
+def test_roundtrip_pseudorandom_pages(seed):
+    data = _rng_bytes(seed)
+    scheme, payload = compress.encode_page(data)
+    assert compress.decode_page(scheme, payload) == data
+    assert len(payload) <= PAGE_SIZE
+
+
+def test_roundtrip_run_boundaries():
+    """Runs straddling the 128-byte token limits round-trip exactly."""
+    for run in (1, 2, 3, 127, 128, 129, 256, 257, PAGE_SIZE - 66):
+        data = _page(b"x" * 64 + b"\x00" * run + b"y", fill=7)
+        scheme, payload = compress.encode_page(data)
+        assert compress.decode_page(scheme, payload) == data
+
+
+def test_reject_bad_inputs():
+    import pytest
+    with pytest.raises(ValueError):
+        compress.encode_page(b"short")
+    with pytest.raises(ValueError):
+        compress.decode_page(compress.SCHEME_ZERO, b"x")
+    with pytest.raises(ValueError):
+        compress.decode_page(compress.SCHEME_RAW, b"short")
+    with pytest.raises(ValueError):
+        compress.decode_page("gzip", b"")
+    with pytest.raises(ValueError):
+        compress.decode_page(compress.SCHEME_RLE, bytes([5]))  # truncated
