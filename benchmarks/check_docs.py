@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""CI gate: the README quickstart must actually run.
+
+Extracts every command line from README.md's fenced shell code blocks
+and replays each through a *smoke* variant (``--collect-only`` for the
+test suite, ``--smoke`` for examples, ``--help`` for utilities), so a
+renamed entry point, a dropped flag, or a moved file makes the docs job
+fail instead of silently rotting the quickstart.  Two drift directions
+are covered:
+
+* a REQUIRED command disappearing from the README (someone edited the
+  quickstart away) fails;
+* a command appearing in the README that this script does not know how
+  to smoke-test fails with instructions to teach it — undocumented
+  commands never get silently skipped.
+
+Usage: python benchmarks/check_docs.py [--readme README.md]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: README command -> argv to actually run (None = run verbatim).  The
+#: keys must match the README lines exactly; editing the quickstart
+#: means editing this table in the same commit.
+SMOKE = {
+    "PYTHONPATH=src python -m pytest -x -q":
+        ["python", "-m", "pytest", "-x", "-q", "--collect-only"],
+    "PYTHONPATH=src python examples/distributed_md5.py":
+        ["python", "examples/distributed_md5.py", "--smoke"],
+    "PYTHONPATH=src python -m repro.bench fig4": None,
+    "python benchmarks/check_regression.py":
+        ["python", "benchmarks/check_regression.py", "--help"],
+    "python benchmarks/check_docs.py":
+        ["python", "benchmarks/check_docs.py", "--help"],
+}
+
+#: Commands the quickstart must keep containing.
+REQUIRED = {
+    "PYTHONPATH=src python -m pytest -x -q",
+    "PYTHONPATH=src python examples/distributed_md5.py",
+}
+
+_FENCE = re.compile(r"^```(?:ba)?sh\s*$")
+
+
+def extract_commands(readme):
+    """Command lines inside ```sh / ```bash fenced blocks (``$ `` and
+    comment lines stripped)."""
+    commands = []
+    in_block = False
+    for line in readme.read_text().splitlines():
+        if in_block and line.startswith("```"):
+            in_block = False
+        elif in_block:
+            command = line.strip().removeprefix("$ ").strip()
+            if command and not command.startswith("#"):
+                commands.append(command)
+        elif _FENCE.match(line.strip()):
+            in_block = True
+    return commands
+
+
+def smoke_argv(command):
+    """The argv to smoke-test ``command`` with (prefix assignments like
+    ``PYTHONPATH=src`` are moved into the environment by run())."""
+    argv = SMOKE[command]
+    if argv is not None:
+        return argv
+    return [part for part in command.split() if "=" not in part or
+            not part.partition("=")[0].isupper()]
+
+
+def run(command):
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    argv = smoke_argv(command)
+    print(f"check_docs: {command!r} -> {' '.join(argv)}")
+    result = subprocess.run(argv, cwd=REPO, env=env,
+                            capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"check_docs: FAILED ({result.returncode}):\n"
+              f"{result.stdout[-2000:]}\n{result.stderr[-2000:]}",
+              file=sys.stderr)
+    return result.returncode == 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--readme", default=str(REPO / "README.md"))
+    args = parser.parse_args(argv)
+
+    readme = Path(args.readme)
+    if not readme.exists():
+        print(f"check_docs: {readme} does not exist", file=sys.stderr)
+        return 2
+    commands = extract_commands(readme)
+    if not commands:
+        print("check_docs: README has no shell code blocks — the "
+              "quickstart is gone", file=sys.stderr)
+        return 2
+
+    failures = []
+    for required in sorted(REQUIRED - set(commands)):
+        failures.append(f"required quickstart command missing from "
+                        f"README: {required!r}")
+    for command in commands:
+        if command not in SMOKE:
+            failures.append(
+                f"README command {command!r} is unknown to check_docs.py "
+                f"— add a smoke mapping for it in the same commit")
+        elif not run(command):
+            failures.append(f"smoke run failed: {command!r}")
+
+    if failures:
+        print(f"\ncheck_docs: {len(failures)} documentation drift(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"check_docs: all {len(commands)} README quickstart commands "
+          f"smoke-tested ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

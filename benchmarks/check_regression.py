@@ -23,11 +23,19 @@ cost-model change, regenerate and commit the baselines:
     PYTHONPATH=src python -m pytest benchmarks/bench_ablation_*.py -q
     cp benchmarks/out/BENCH_*.json benchmarks/
 
+(The full baseline-refresh workflow — when a refresh is legitimate and
+when it is papering over a regression — is documented in DESIGN.md.)
+Each failure names the committed baseline file it compared against and
+whether git actually tracks it, so a forgotten ``git add`` after a
+refresh shows up in the failure table instead of silently gating
+against a stale committed copy.
+
 Usage: python benchmarks/check_regression.py [--tolerance 0.10]
 """
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -35,7 +43,20 @@ HERE = Path(__file__).resolve().parent
 
 #: Leaf keys gated against the baseline (higher is a regression).
 GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops",
-              "demand_stall"}
+              "demand_stall", "retx_bytes"}
+
+
+def git_tracked(path):
+    """Whether git tracks ``path`` (False too when git is unavailable —
+    an untracked baseline gates nothing on a fresh clone, which is
+    exactly what the failure table should say)."""
+    try:
+        result = subprocess.run(
+            ["git", "ls-files", "--error-unmatch", path.name],
+            cwd=path.parent, capture_output=True)
+        return result.returncode == 0
+    except OSError:
+        return False
 
 
 def compare(baseline, current, path, tolerance, failures, rows):
@@ -112,12 +133,15 @@ def main(argv=None):
 
     failures = []
     failing_rows = []
+    failing_files = []
     for baseline_path in baselines:
+        tracked = git_tracked(baseline_path)
         current_path = HERE / "out" / baseline_path.name
         if not current_path.exists():
             failures.append(
                 f"{baseline_path.name}: {current_path} not found — run the "
                 f"ablation benchmarks first")
+            failing_files.append((baseline_path, tracked))
             continue
         baseline = json.loads(baseline_path.read_text())
         current = json.loads(current_path.read_text())
@@ -128,14 +152,21 @@ def main(argv=None):
         failed = len(failures) > before
         if failed:
             failing_rows.extend(rows)
+            failing_files.append((baseline_path, tracked))
         print(f"check_regression: {baseline_path.name}: "
-              f"{'FAIL' if failed else 'ok'} ({len(rows)} gated metrics)")
+              f"{'FAIL' if failed else 'ok'} ({len(rows)} gated metrics"
+              f"{'' if tracked else '; baseline NOT git-tracked'})")
 
     if failures:
         print(f"\n{len(failures)} regression(s) vs committed baselines:",
               file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
+        print("\nBaselines compared against:", file=sys.stderr)
+        for path, tracked in failing_files:
+            status = ("git-tracked" if tracked
+                      else "NOT git-tracked — commit it after a refresh")
+            print(f"  {path} ({status})", file=sys.stderr)
         if failing_rows:
             print("\nPer-metric diff of failing files:", file=sys.stderr)
             print(diff_table(failing_rows), file=sys.stderr)

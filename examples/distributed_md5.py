@@ -8,28 +8,36 @@ numbers in the high bits of child references.  The result is identical
 on any cluster size, and speedup is near-linear because workers share
 almost no data.
 
-Run:  python examples/distributed_md5.py
+Run:  python examples/distributed_md5.py [--smoke]
+
+``--smoke`` shrinks the search (3-character keys, up to 4 nodes) so the
+CI docs job can replay the quickstart in a couple of seconds.
 """
 
+import argparse
 import hashlib
 
 from repro.bench.cluster_workloads import md5_tree_main, run_cluster
 from repro.bench.workloads.md5 import ALPHABET, candidate
 from repro.cluster import NetworkStats
 
-LENGTH = 4
 
+def main(smoke=False):
+    length = 3 if smoke else 4
+    sizes = (1, 2, 4) if smoke else (1, 2, 4, 8, 16)
+    big = sizes[-1]
+    rack = max(2, big // 4)
+    fabric = f"two_tier:{rack}"
 
-if __name__ == "__main__":
-    target = candidate((len(ALPHABET) ** LENGTH) * 7 // 10, LENGTH)
+    target = candidate((len(ALPHABET) ** length) * 7 // 10, length)
     digest = hashlib.md5(target.encode()).hexdigest()
-    print(f"searching {len(ALPHABET) ** LENGTH:,} candidates for "
+    print(f"searching {len(ALPHABET) ** length:,} candidates for "
           f"md5(...)={digest[:16]}...\n")
     print(f"{'nodes':>6} {'virtual time':>16} {'speedup':>9}  found")
     base = None
     machine = None
-    for nodes in (1, 2, 4, 8, 16):
-        makespan, machine, found = run_cluster(md5_tree_main(LENGTH), nodes)
+    for nodes in sizes:
+        makespan, machine, found = run_cluster(md5_tree_main(length), nodes)
         if base is None:
             base = makespan
         print(f"{nodes:>6} {makespan:>16,} {base / makespan:>8.2f}x  {found!r}")
@@ -38,21 +46,21 @@ if __name__ == "__main__":
     print("semantically transparent (paper §3.3).")
 
     stats = NetworkStats(machine)
-    print(f"\nnetwork at 16 nodes (flat fabric): {stats.summary()}\n")
+    print(f"\nnetwork at {big} nodes (flat fabric): {stats.summary()}\n")
     print("per-class / per-link traffic (delta migrations + batched "
           "demand fetches):")
     print(stats.link_table())
 
-    # The same program, re-run on a routed two-tier fabric (racks of 4
+    # The same program, re-run on a routed two-tier fabric (racks
     # behind an oversubscribed core switch) with locality-aware
     # placement: the per-class table splits rack-local from cross-rack
     # traffic — the view that explains oversubscription bottlenecks.
-    _, machine, found = run_cluster(md5_tree_main(LENGTH), 16,
-                                    topology="two_tier:4",
-                                    placement="locality")
+    _, machine, found = run_cluster(md5_tree_main(length), big,
+                                    topology=fabric, placement="locality")
     assert found == target
     stats = NetworkStats(machine)
-    print("\nsame run, two-tier fabric (racks of 4, locality placement):")
+    print(f"\nsame run, two-tier fabric (racks of {rack}, locality "
+          f"placement):")
     print(stats.class_table())
 
     # And once more under summary-only demand paging with pipelined
@@ -61,7 +69,7 @@ if __name__ == "__main__":
     # mostly-zero payloads (like the digest page) barely touch the
     # wire.  Same answer, of course — both features are cost-only.
     makespan, machine, found = run_cluster(
-        md5_tree_main(LENGTH), 16, topology="two_tier:4",
+        md5_tree_main(length), big, topology=fabric,
         placement="locality", ship_mode="demand", prefetch_depth=16,
         compression=True)
     assert found == target
@@ -70,3 +78,28 @@ if __name__ == "__main__":
     print(stats.summary())
     print("\nper-link compressed-vs-raw payload ledger:")
     print(stats.compression_table())
+
+    # Finally, the same two-tier run on a *lossy* fabric: a
+    # deterministic schedule drops 2% of wire copies, the link layer
+    # retransmits them (bounded retries, timeout waits charged as
+    # "retx" stall edges), and the retransmit ledger below replays
+    # bit-identically on every rerun.  The answer still cannot change —
+    # faults are cost-only under system-enforced determinism.
+    lossy_makespan, machine, found = run_cluster(
+        md5_tree_main(length), big, topology=fabric,
+        placement="locality", ship_mode="demand", prefetch_depth=16,
+        compression=True, loss={"drop": 0.02, "seed": 2010})
+    assert found == target
+    stats = NetworkStats(machine)
+    print(f"\nsame run on a lossy fabric (2% deterministic drop): "
+          f"makespan {makespan:,} -> {lossy_makespan:,}")
+    print(stats.summary())
+    print("\nper-link retransmit ledger (bit-identical on every rerun):")
+    print(stats.retx_table())
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny search for CI (3-char keys, 4 nodes)")
+    main(**vars(parser.parse_args()))

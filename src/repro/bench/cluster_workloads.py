@@ -179,7 +179,7 @@ def matmult_tree(g, nnodes, n, seed):
 
 def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
                 ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False):
+                prefetch_depth=None, compression=False, loss=None):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
@@ -190,12 +190,14 @@ def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
     fault over on touch; ``topology``/``placement`` choose the routed
     fabric and the policy mapping the program's node numbers onto it;
     ``prefetch_depth``/``compression`` configure the async fetch queues
-    and PAGE_BATCH wire compression.
+    and PAGE_BATCH wire compression; ``loss`` injects a deterministic
+    fault schedule (drop rate, kwargs dict, or LossSchedule) with
+    retransmission accounting — cost-only, never touching the value.
     """
     machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
                       ship_mode=ship_mode, topology=topology,
                       placement=placement, prefetch_depth=prefetch_depth,
-                      compression=compression)
+                      compression=compression, loss=loss)
 
     def main(g):
         return entry_builder(g, nnodes)

@@ -237,6 +237,12 @@ def figure11_topology(node_counts=(1, 2, 4, 8), matmult_n=256,
 # Figure 12: Determinator vs distributed-memory Linux equivalents
 # ---------------------------------------------------------------------------
 
+#: Deterministic drop rates of figure 12's loss series: the reliability
+#: dimension the TCP-mode comparison was missing.  Schedules are nested
+#: across rates (one seed), so the series moves monotonically.
+FIG12_LOSS_RATES = (("loss-0.1%", 0.001), ("loss-1%", 0.01))
+
+
 def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
     """{benchmark: {nodes: linux_dist_time / determinator_time}}.
 
@@ -246,6 +252,11 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
     ``"comp-saving"`` series reports the fraction of matmult-tree's
     page payload bytes that zero-suppression/RLE wire compression
     removes at each cluster size (0 at one node — nothing crosses).
+    The ``"loss-*"`` series report matmult-tree's relative slowdown
+    under deterministic packet loss with retransmission (0 / 0.1% / 1%
+    drop; the zero-rate run *is* the ``matmult-tree`` denominator) —
+    computed values are asserted identical, so what the series shows is
+    purely the retransmission surcharge.
     """
     from repro.bench.workloads.md5 import ALPHABET, CYCLES_PER_CANDIDATE
     from repro.cluster import NetworkStats
@@ -257,6 +268,7 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
 
     series = {"md5-tree": {}, "matmult-tree": {}, "tcp-impact": {},
               "comp-saving": {}}
+    series.update({name: {} for name, _ in FIG12_LOSS_RATES})
     for nodes in node_counts:
         det_md5, _, _ = cw.run_cluster(cw.md5_tree_main(md5_length), nodes)
         lin_md5 = DistLinux(nnodes=nodes).run_master_workers(
@@ -265,7 +277,8 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
         )
         series["md5-tree"][nodes] = lin_md5 / det_md5
 
-        det_mm, _, _ = cw.run_cluster(cw.matmult_tree_main(matmult_n), nodes)
+        det_mm, _, mm_value = cw.run_cluster(
+            cw.matmult_tree_main(matmult_n), nodes)
         lin_mm = DistLinux(nnodes=nodes).run_master_workers(
             worker_cycles=mm_total // nodes,
             input_bytes=mm_bytes + mm_bytes // nodes,
@@ -284,6 +297,14 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
         assert det_comp <= det_mm, "compression must never slow a run"
         series["comp-saving"][nodes] = \
             1.0 - NetworkStats(comp_machine).compression_ratio()
+
+        for name, rate in FIG12_LOSS_RATES:
+            det_loss, loss_machine, loss_value = cw.run_cluster(
+                cw.matmult_tree_main(matmult_n), nodes, loss=rate)
+            assert loss_value == mm_value, \
+                f"loss must be cost-only ({name}, {nodes} nodes)"
+            assert loss_machine.transport.conservation_ok()
+            series[name][nodes] = det_loss / det_mm - 1.0
     return series
 
 

@@ -19,6 +19,14 @@ owns *how* it crosses and what that costs:
   behind compute, and ``Machine(compression=True)`` ships PAGE_BATCH
   payloads zero-suppressed/RLE-encoded
   (:mod:`repro.cluster.compress`);
+* :class:`~repro.cluster.faults.LossSchedule` — deterministic fault
+  injection (``Machine(loss=...)``): per-link drop/duplicate/reorder
+  decisions keyed on ``(link, msg_serial)`` replay bit-identically;
+  the transport retransmits dropped copies (``cost.retx_timeout`` /
+  ``retx_limit``), keeps a per-link retransmit ledger
+  (``NetworkStats.retx_table()``), and charges timeout waits as
+  ``kind="retx"`` stall edges — loss is cost-only, never touching
+  computed values;
 * placement policies (:mod:`repro.cluster.placement`) — map
   program-visible node numbers onto fabric nodes: ``round_robin``
   stripes across racks, ``locality`` packs by communication affinity
@@ -36,6 +44,7 @@ owns *how* it crosses and what that costs:
 
 from repro.cluster.network import NetworkStats
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+from repro.cluster.faults import LossSchedule, RetxBill, resolve_loss
 from repro.cluster.placement import (
     LocalityAwarePlacement,
     PlacementPolicy,
@@ -59,6 +68,7 @@ from repro.cluster.transport import (
 
 __all__ = [
     "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
+    "LossSchedule", "RetxBill", "resolve_loss",
     "Transport", "MsgType", "LinkStats", "PrefetchExchange",
     "Topology", "FlatTopology", "TwoTierTopology", "FatTreeTopology",
     "LinkClass", "resolve_topology",

@@ -38,7 +38,8 @@ class Cluster:
 
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
                  dirty_tracking=True, ship_mode="delta", topology=None,
-                 placement=None, prefetch_depth=None, compression=False):
+                 placement=None, prefetch_depth=None, compression=False,
+                 loss=None):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -60,6 +61,11 @@ class Cluster:
         #: knob; 0 = stop-and-wait) and PAGE_BATCH wire compression.
         self.prefetch_depth = prefetch_depth
         self.compression = compression
+        #: Deterministic fault schedule (None = lossless; a drop rate,
+        #: LossSchedule kwargs dict, or LossSchedule instance) — see
+        #: :mod:`repro.cluster.faults`.  Retransmission timing comes
+        #: from the cost model (``retx_timeout``/``retx_limit``).
+        self.loss = loss
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
@@ -69,6 +75,7 @@ class Cluster:
             dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
             topology=self.topology, placement=self.placement,
             prefetch_depth=self.prefetch_depth, compression=self.compression,
+            loss=self.loss,
         )
         with machine:
             result = machine.run(entry, args)
@@ -84,17 +91,19 @@ class Cluster:
 def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                 check_value=True, tcp_mode=False, dirty_tracking=True,
                 ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False):
+                prefetch_depth=None, compression=False, loss=None):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
     ``check_value`` (default) every size must compute the same value —
-    distribution is semantically transparent (§3.3).  The machine
+    distribution is semantically transparent (§3.3), and a ``loss``
+    schedule must never break it (faults are cost-only).  The machine
     configuration knobs (``tcp_mode``, ``dirty_tracking``,
     ``ship_mode``, ``topology``, ``placement``, ``prefetch_depth``,
-    ``compression``) apply to *every* size, so sweeps compare like with
-    like; pass ``topology`` as a preset string or an ``nnodes ->
-    Topology`` builder, since each size gets its own fabric.
+    ``compression``, ``loss``) apply to *every* size, so sweeps compare
+    like with like; pass ``topology`` as a preset string or an
+    ``nnodes -> Topology`` builder, since each size gets its own
+    fabric.
     """
     series = {}
     base_time = None
@@ -104,7 +113,7 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                           dirty_tracking=dirty_tracking, ship_mode=ship_mode,
                           topology=topology, placement=placement,
                           prefetch_depth=prefetch_depth,
-                          compression=compression)
+                          compression=compression, loss=loss)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

@@ -52,6 +52,21 @@ class NetworkStats:
         #: codec cost (cycles charged as transfer latency).
         self.compression = machine.compression
         self.codec_cycles = transport.codec_cycles
+        #: The fabric's deterministic fault schedule (one-line
+        #: description, or None on a lossless fabric) and its
+        #: consequences: wire copies the schedule dropped / the link
+        #: layer retransmitted / duplicated / reordered, the
+        #: retransmitted byte volume, and the timeout cycles
+        #: space-stalling exchanges spent waiting on retransmits
+        #: (charged as ``kind="retx"`` stall edges in the schedule).
+        self.loss = machine.loss.describe() if machine.loss else None
+        self.dropped_msgs = transport.drops
+        self.dropped_bytes = transport.dropped_bytes
+        self.retx_msgs = transport.retx_msgs
+        self.retx_bytes = transport.retx_bytes
+        self.dup_msgs = transport.dups
+        self.reorder_msgs = transport.reorders
+        self.retx_wait = transport.retx_wait
         #: Logical messages of any type, link traversals they cost, and
         #: PAGE_BATCH messages specifically.
         self.messages = transport.messages
@@ -145,6 +160,44 @@ class NetworkStats:
                          f"{comp / 1024:>10.1f} {saved:>6.1%}")
         return "\n".join(lines)
 
+    def retx_table(self):
+        """Per-link retransmission ledger of the deterministic fault
+        schedule.
+
+        One row per link the schedule faulted — wire copies dropped,
+        retransmitted (messages and KiB), duplicated, and reordered —
+        plus a totals row.  The row *content* is a pure function of the
+        schedule and the program (fault decisions are keyed on
+        ``(link, msg_serial)``), so two runs under one seed render the
+        same table byte for byte — the determinism oracle the fault
+        tests pin down.
+        """
+        rows = [(f"{src}->{dst}", stats)
+                for (src, dst), stats in self.per_link.items()
+                if stats["dropped_msgs"] or stats["retx_msgs"]
+                or stats["dup_msgs"] or stats["reorder_msgs"]]
+        if not rows:
+            return ("(no link ever dropped, duplicated, or reordered "
+                    "a message)")
+        lines = [f"{'link':>16} {'msgs':>7} {'dropped':>8} {'retx':>6} "
+                 f"{'retx KiB':>9} {'dup':>5} {'reorder':>8}"]
+        total = {"messages": 0, "dropped_msgs": 0, "retx_msgs": 0,
+                 "retx_bytes": 0, "dup_msgs": 0, "reorder_msgs": 0}
+        for name, stats in rows:
+            for key in total:
+                total[key] += stats[key]
+            lines.append(
+                f"{name:>16} {stats['messages']:>7} "
+                f"{stats['dropped_msgs']:>8} {stats['retx_msgs']:>6} "
+                f"{stats['retx_bytes'] / 1024:>9.1f} "
+                f"{stats['dup_msgs']:>5} {stats['reorder_msgs']:>8}")
+        lines.append(
+            f"{'TOTAL':>16} {total['messages']:>7} "
+            f"{total['dropped_msgs']:>8} {total['retx_msgs']:>6} "
+            f"{total['retx_bytes'] / 1024:>9.1f} "
+            f"{total['dup_msgs']:>5} {total['reorder_msgs']:>8}")
+        return "\n".join(lines)
+
     def class_bytes(self, cls):
         """Total wire bytes sent over links of class ``cls`` (0 if the
         fabric has none) — e.g. ``class_bytes("core")`` is the
@@ -170,6 +223,14 @@ class NetworkStats:
                     f"{self.raw_bytes / 1024:.0f} -> "
                     f"{self.comp_bytes / 1024:.0f} KiB "
                     f"({self.compression_ratio():.0%})")
+        retx = ""
+        if self.loss is not None:
+            retx = (f", faults [{self.loss}]: {self.dropped_msgs:,} drops "
+                    f"-> {self.retx_msgs:,} retransmits "
+                    f"({self.retx_bytes / 1024:.0f} KiB, "
+                    f"{self.retx_wait:,} wait cycles), "
+                    f"{self.dup_msgs:,} dups, {self.reorder_msgs:,} "
+                    f"reorders")
         return (
             f"{self.migrations} migration hops, "
             f"{self.pages_fetched:,} pages fetched "
@@ -178,7 +239,7 @@ class NetworkStats:
             f"{self.bytes_moved / 1024:.0f} KiB payload in "
             f"{self.messages:,} messages over {self.hops:,} link "
             f"traversals{comp}), {self.wire_cycles:,} wire cycles over "
-            f"{len(self.per_link)} {self.topology} links, "
+            f"{len(self.per_link)} {self.topology} links{retx}, "
             f"cache population: {dict(sorted(self.cached_per_node.items()))}"
         )
 

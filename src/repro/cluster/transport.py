@@ -87,6 +87,30 @@ sizes are cached per frame content tag, and codec work is charged as
 transfer latency via the ``comp_encode_byte``/``comp_decode_byte``
 cost knobs.
 
+Deterministic faults and retransmission
+---------------------------------------
+
+With ``Machine(loss=...)`` every wire copy of every message consults
+the machine's :class:`~repro.cluster.faults.LossSchedule` — a pure
+function of ``(seed, link, msg_serial, attempt)``, so reruns fault
+bit-identically.  Each fabric link runs a reliable link layer: a
+dropped copy is retransmitted after ``cost.retx_timeout`` cycles
+(bounded by ``cost.retx_limit``, exhaustion raises
+:class:`~repro.common.errors.NetworkLossError`); a duplicated copy
+serializes and arrives twice, the receiver discarding the second; a
+reordered copy is held back one hop latency at the receiver.  Every
+extra copy occupies its link (it contends in ``schedule()``), the
+per-link ledger keeps the split (:attr:`LinkStats.retx_msgs` /
+:attr:`LinkStats.retx_bytes` / :attr:`LinkStats.dropped_bytes`), and
+the timeout waits of a space-stalling exchange are charged as
+``kind="retx"`` trace link edges — so
+``ScheduleResult.stall_cycles["retx"]`` is exactly the time spaces
+lost to the unreliable fabric.  ACKs stay fire-and-forget: their
+faults are accounted on the links but never delay a space.
+Determinism guarantees loss is cost-only — computed values and final
+memory images are identical under any schedule — and conservation
+extends to ``delivered + dropped == sent`` per physical link.
+
 Delta shipping
 --------------
 
@@ -107,6 +131,8 @@ stop-and-wait against pipelined fetching.  See
 import enum
 
 from repro.cluster import compress
+from repro.cluster.faults import DROP, DUPLICATE, REORDER, RetxBill
+from repro.common.errors import NetworkLossError
 from repro.mem.page import PAGE_SIZE
 
 
@@ -123,7 +149,9 @@ class LinkStats:
     """Cumulative traffic accounting of one directed fabric link."""
 
     __slots__ = ("cls", "messages", "bytes_sent", "bytes_received", "pages",
-                 "raw_bytes", "comp_bytes", "busy_cycles", "by_type")
+                 "raw_bytes", "comp_bytes", "busy_cycles", "by_type",
+                 "retx_msgs", "retx_bytes", "dropped_msgs", "dropped_bytes",
+                 "dup_msgs", "dup_bytes", "reorder_msgs")
 
     def __init__(self, cls="node"):
         #: Name of the link's latency/bandwidth class.
@@ -133,12 +161,14 @@ class LinkStats:
         self.messages = 0
         #: Wire bytes queued at the sending endpoint.
         self.bytes_sent = 0
-        #: Wire bytes handed to the receiving endpoint, computed per
-        #: exchange from its page counts (independently of the
-        #: per-message :attr:`bytes_sent`); links are lossless, so any
-        #: mismatch is a protocol accounting bug — the conservation
-        #: invariant the transport tests pin down, now enforced on every
-        #: traversed link of every route.
+        #: Wire bytes handed to the receiving endpoint.  The clean copy
+        #: of every message is credited per *exchange* from its page
+        #: counts (independently of the per-message :attr:`bytes_sent`);
+        #: duplicated copies are credited as they arrive.  The
+        #: conservation invariant the transport tests pin down —
+        #: enforced on every traversed link of every route — is
+        #: ``bytes_sent == bytes_received + dropped_bytes``: the link
+        #: layer delivers every byte it does not drop.
         self.bytes_received = 0
         #: Page payloads moved over the link.
         self.pages = 0
@@ -156,6 +186,22 @@ class LinkStats:
         self.busy_cycles = 0
         #: message-type name -> message count.
         self.by_type = {}
+        #: Retransmitted copies the link's reliable layer re-serialized
+        #: after the loss schedule dropped an earlier copy (the
+        #: retransmit ledger ``NetworkStats.retx_table()`` renders).
+        self.retx_msgs = 0
+        self.retx_bytes = 0
+        #: Copies the loss schedule dropped on this link (each later
+        #: retransmitted; the dropped bytes close the conservation
+        #: equation ``sent == received + dropped``).
+        self.dropped_msgs = 0
+        self.dropped_bytes = 0
+        #: Duplicated copies: serialized and delivered twice, the
+        #: receiver discarding the extra arrival.
+        self.dup_msgs = 0
+        self.dup_bytes = 0
+        #: Copies delivered out of order, held back one hop latency.
+        self.reorder_msgs = 0
 
     def as_dict(self):
         """Plain-dict view (reporting)."""
@@ -169,6 +215,13 @@ class LinkStats:
             "comp_bytes": self.comp_bytes,
             "busy_cycles": self.busy_cycles,
             "by_type": dict(self.by_type),
+            "retx_msgs": self.retx_msgs,
+            "retx_bytes": self.retx_bytes,
+            "dropped_msgs": self.dropped_msgs,
+            "dropped_bytes": self.dropped_bytes,
+            "dup_msgs": self.dup_msgs,
+            "dup_bytes": self.dup_bytes,
+            "reorder_msgs": self.reorder_msgs,
         }
 
 
@@ -180,9 +233,9 @@ class PrefetchExchange:
     arrives together), at which point its link edges enter the trace.
     """
 
-    __slots__ = ("anchor", "usage", "latency", "frames", "origin")
+    __slots__ = ("anchor", "usage", "latency", "frames", "origin", "retx")
 
-    def __init__(self, anchor, usage, latency, frames, origin):
+    def __init__(self, anchor, usage, latency, frames, origin, retx=None):
         #: Trace segment (id) of the issue point (the segment closed
         #: just before the prediction fired); the transfer's
         #: serialization starts when it finishes.
@@ -198,6 +251,11 @@ class PrefetchExchange:
         self.frames = frames
         #: Node the pages were pulled from.
         self.origin = origin
+        #: Retransmission charges (:class:`~repro.cluster.faults.
+        #: RetxBill`) the exchange accumulated at issue time, emitted
+        #: as ``kind="retx"`` edges when the exchange is redeemed or
+        #: flushed; None on a lossless fabric.
+        self.retx = retx
 
 
 class Transport:
@@ -245,6 +303,22 @@ class Transport:
         #: Encode/decode cycles the compression codec cost (charged as
         #: transfer latency, not link occupancy).
         self.codec_cycles = 0
+        #: Logical message serial: incremented once per :meth:`_send`,
+        #: the key (with the link) of every fault decision — serials
+        #: are deterministic because the simulation is, so the loss
+        #: schedule replays bit-identically.
+        self.msg_serial = 0
+        #: Fault/retransmission totals over every link: copies the loss
+        #: schedule dropped / the link layer re-serialized /
+        #: duplicated / reordered, and the sender-side timeout cycles
+        #: space-stalling exchanges accumulated waiting on retransmits.
+        self.drops = 0
+        self.dropped_bytes = 0
+        self.retx_msgs = 0
+        self.retx_bytes = 0
+        self.dups = 0
+        self.reorders = 0
+        self.retx_wait = 0
         #: node -> {frame serial: (generation, PrefetchExchange)} — that
         #: node's async fetch queue of in-flight predicted frames.
         self.inflight = {}
@@ -282,7 +356,7 @@ class Transport:
         return self.pages_prefetched - self.prefetch_used
 
     def _send(self, mtype, src, dst, nbytes, pages=0, usage=None,
-              raw_payload=0, comp_payload=0):
+              raw_payload=0, comp_payload=0, faults=None):
         """Serialize one message along the fabric route ``src -> dst``.
 
         Every traversed link accrues the message's bytes, pages, and
@@ -296,30 +370,103 @@ class Transport:
         cross-checks the two computations per physical link — e.g. a
         batch split that loses pages shows up as a sent/received
         mismatch.
+
+        Under ``Machine(loss=...)`` each link's copy consults the
+        deterministic loss schedule, keyed on ``(link, msg_serial,
+        attempt)``.  Dropped copies are retransmitted by the link layer
+        after ``cost.retx_timeout`` (at most ``cost.retx_limit``
+        retries); duplicated copies serialize and arrive twice (the
+        receiver discards the extra, credited here); reordered copies
+        are held back one hop latency.  ``faults`` (a
+        :class:`~repro.cluster.faults.RetxBill`, for messages a space
+        stalls on) collects the extra per-link occupancy and the
+        timeout waits for the caller's ``kind="retx"`` trace edges;
+        fire-and-forget messages pass None and fault silently.
         """
         machine = self.machine
         cost = machine.cost
         topo = machine.topology
+        loss = machine.loss
+        serial = self.msg_serial
+        self.msg_serial += 1
         self.messages += 1
         for link in topo.route(src, dst):
             cls = topo.link_class(link)
             busy = cost.link_message(nbytes, byte_factor=cls.byte_factor,
                                      tcp=machine.tcp_mode)
             stats = self.link(link)
-            stats.messages += 1
-            stats.bytes_sent += nbytes
+            # Payload/page accounting is per logical traversal: the
+            # content crosses the link once however many wire copies
+            # the link layer needs.
             stats.pages += pages
             stats.raw_bytes += raw_payload
             stats.comp_bytes += comp_payload
-            stats.busy_cycles += busy
-            stats.by_type[mtype.name] = stats.by_type.get(mtype.name, 0) + 1
             self.hops += 1
-            self.bytes_total += nbytes
             self.raw_total += raw_payload
             self.comp_total += comp_payload
-            self.busy_total += busy
             if usage is not None:
                 usage[link] = usage.get(link, 0) + busy
+            attempt = 0
+            while True:
+                stats.messages += 1
+                stats.bytes_sent += nbytes
+                stats.busy_cycles += busy
+                stats.by_type[mtype.name] = \
+                    stats.by_type.get(mtype.name, 0) + 1
+                self.bytes_total += nbytes
+                self.busy_total += busy
+                if attempt:
+                    stats.retx_msgs += 1
+                    stats.retx_bytes += nbytes
+                    self.retx_msgs += 1
+                    self.retx_bytes += nbytes
+                    if faults is not None:
+                        faults.usage[link] = faults.usage.get(link, 0) + busy
+                outcome = loss.decide(link, serial, attempt) if loss \
+                    else None
+                if outcome is DROP:
+                    stats.dropped_msgs += 1
+                    stats.dropped_bytes += nbytes
+                    self.drops += 1
+                    self.dropped_bytes += nbytes
+                    attempt += 1
+                    if attempt > cost.retx_limit:
+                        raise NetworkLossError(
+                            f"{mtype.name} msg {serial} on link {link}: "
+                            f"all {cost.retx_limit} retransmissions "
+                            f"dropped")
+                    if faults is not None:
+                        faults.wait += cost.retx_timeout
+                        self.retx_wait += cost.retx_timeout
+                    continue
+                if outcome is DUPLICATE:
+                    # The link layer serialized a second copy; it
+                    # arrives and the receiver discards it, so it is
+                    # credited delivered right here (the exchange
+                    # arithmetic only knows clean copies).
+                    stats.messages += 1
+                    stats.bytes_sent += nbytes
+                    stats.bytes_received += nbytes
+                    stats.busy_cycles += busy
+                    stats.dup_msgs += 1
+                    stats.dup_bytes += nbytes
+                    stats.by_type[mtype.name] += 1
+                    self.bytes_total += nbytes
+                    self.busy_total += busy
+                    self.dups += 1
+                    if faults is not None:
+                        faults.usage[link] = faults.usage.get(link, 0) + busy
+                elif outcome is REORDER:
+                    # Delivered behind a later copy: the receiver holds
+                    # it one hop transit before handing it up.
+                    stats.reorder_msgs += 1
+                    self.reorders += 1
+                    if faults is not None:
+                        hold = int(cls.latency_factor * cost.net_latency)
+                        faults.wait += hold
+                        faults.usage.setdefault(link, 0)
+                        self.retx_wait += hold
+                break
 
     def _receive(self, src, dst, nbytes):
         """Credit ``nbytes`` delivered over every link of the
@@ -349,7 +496,7 @@ class Transport:
             npages -= take
         return sizes
 
-    def _ship(self, src, dst, frames, usage=None):
+    def _ship(self, src, dst, frames, usage=None, faults=None):
         """Send ``frames`` as PAGE_BATCH messages over the route.
 
         Returns ``(payload, codec)``: total payload bytes serialized
@@ -364,7 +511,8 @@ class Transport:
             self._send(MsgType.PAGE_BATCH, src, dst,
                        payload + take * cost.page_hdr,
                        pages=take, usage=usage,
-                       raw_payload=take * PAGE_SIZE, comp_payload=payload)
+                       raw_payload=take * PAGE_SIZE, comp_payload=payload,
+                       faults=faults)
             self.batches += 1
             index += take
         payload = sum(sizes)
@@ -376,7 +524,7 @@ class Transport:
         return payload, codec
 
     def _page_exchange(self, origin, node, frames, req_usage=None,
-                       resp_usage=None):
+                       resp_usage=None, faults=None):
         """Wire accounting of one PAGE_REQ/PAGE_BATCH/ACK exchange
         pulling ``frames`` from ``origin`` to ``node`` — shared by the
         demand and prefetch paths so the two can never drift apart and
@@ -385,8 +533,10 @@ class Transport:
         cost = self.machine.cost
         npages = len(frames)
         self._send(MsgType.PAGE_REQ, node, origin,
-                   cost.msg_ctrl + 8 * npages, usage=req_usage)
-        payload, codec = self._ship(origin, node, frames, usage=resp_usage)
+                   cost.msg_ctrl + 8 * npages, usage=req_usage,
+                   faults=faults)
+        payload, codec = self._ship(origin, node, frames, usage=resp_usage,
+                                    faults=faults)
         self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
         self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
         self._receive(origin, node, payload + npages * cost.page_hdr)
@@ -411,8 +561,11 @@ class Transport:
         self.pages_shipped += len(shipped)
         machine.pages_fetched += len(shipped)
         usage = {}
-        self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes, usage=usage)
-        payload, codec = self._ship(src, dst, shipped, usage=usage)
+        bill = RetxBill() if machine.loss else None
+        self._send(MsgType.MIGRATE, src, dst, cost.migrate_bytes, usage=usage,
+                   faults=bill)
+        payload, codec = self._ship(src, dst, shipped, usage=usage,
+                                    faults=bill)
         self._send(MsgType.ACK, dst, src, cost.msg_ctrl)
         # Receiver-side accounting from the exchange's own arithmetic
         # (not the per-message sends): conservation cross-checks them.
@@ -426,6 +579,9 @@ class Transport:
                               latency=machine.topology.route_latency(
                                   cost, src, dst) + codec,
                               kind="migrate")
+            if bill:
+                self._stall_edges(closed, opened, bill.usage,
+                                  latency=bill.wait, kind="retx")
 
     def fetch(self, space, origin, node, frames):
         """Demand-fetch ``frames`` for ``space`` (resident on ``node``)
@@ -445,9 +601,11 @@ class Transport:
         machine.pages_fetched += npages
         req_usage = {}
         resp_usage = {}
+        bill = RetxBill() if machine.loss else None
         _, codec = self._page_exchange(origin, node, frames,
                                        req_usage=req_usage,
-                                       resp_usage=resp_usage)
+                                       resp_usage=resp_usage,
+                                       faults=bill)
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.cut(space.uid, label="fetch")
@@ -456,6 +614,9 @@ class Transport:
                               latency=machine.topology.route_latency(
                                   machine.cost, origin, node) + codec,
                               kind="fetch")
+            if bill:
+                self._stall_edges(closed, opened, bill.usage,
+                                  latency=bill.wait, kind="retx")
 
     def prefetch(self, space, origin, node, frames):
         """Asynchronously issue a PAGE_REQ/PAGE_BATCH exchange pulling
@@ -478,8 +639,10 @@ class Transport:
         self.pages_prefetched += npages
         machine.pages_fetched += npages
         usage = {}
+        bill = RetxBill() if machine.loss else None
         _, codec = self._page_exchange(origin, node, frames,
-                                       req_usage=usage, resp_usage=usage)
+                                       req_usage=usage, resp_usage=usage,
+                                       faults=bill)
         trace = machine.trace
         last = trace.last_closed(space.uid)
         anchor = last.id if last is not None else None
@@ -487,7 +650,8 @@ class Transport:
                    + codec)
         exchange = PrefetchExchange(
             anchor, usage, latency,
-            [(frame, frame.generation) for frame in frames], origin)
+            [(frame, frame.generation) for frame in frames], origin,
+            retx=bill)
         queue = self.inflight.setdefault(node, {})
         for frame in frames:
             queue[frame.serial] = (frame.generation, exchange)
@@ -552,6 +716,11 @@ class Transport:
             if opened is not None and exchange.anchor is not None:
                 self._stall_edges(exchange.anchor, opened, exchange.usage,
                                   latency=exchange.latency, kind="prefetch")
+                if exchange.retx:
+                    self._stall_edges(exchange.anchor, opened,
+                                      exchange.retx.usage,
+                                      latency=exchange.retx.wait,
+                                      kind="retx")
 
     def flush_inflight(self, kind="prefetch-unused"):
         """End-of-run accounting for exchanges nobody ever redeemed.
@@ -580,21 +749,31 @@ class Transport:
                 trace.end(sink.uid)
                 self._stall_edges(exchange.anchor, sink, exchange.usage,
                                   latency=exchange.latency, kind=kind)
+                if exchange.retx:
+                    self._stall_edges(exchange.anchor, sink,
+                                      exchange.retx.usage,
+                                      latency=exchange.retx.wait,
+                                      kind="retx")
             queue.clear()
 
     # -- invariants --------------------------------------------------------
 
     def conservation_ok(self):
-        """True iff every traversed link delivered exactly the bytes it
-        sent — and never compressed a payload *up*.
+        """True iff every traversed link accounts for every byte it
+        sent — delivered plus dropped — and never compressed a payload
+        *up*.
 
-        Sender bytes accumulate per message as each serializes onto each
-        link of its route; receiver bytes are credited per *exchange*
-        from its page counts, walked over the same routes.  The two
-        computations agree only when no protocol step loses, duplicates,
-        or mis-routes traffic (links themselves are lossless).
+        Sender bytes accumulate per wire copy as each serializes onto
+        each link of its route (retransmissions and duplicates
+        included); receiver bytes are credited per *exchange* from its
+        page counts for the clean copy, plus inline for duplicate
+        arrivals; dropped bytes are tallied as the loss schedule eats
+        copies.  ``sent == received + dropped`` holds per physical link
+        only when no protocol step loses, double-counts, or mis-routes
+        traffic — on a lossless fabric it reduces to the original
+        ``sent == received`` cross-check.
         """
-        return all(s.bytes_sent == s.bytes_received
+        return all(s.bytes_sent == s.bytes_received + s.dropped_bytes
                    and s.comp_bytes <= s.raw_bytes
                    for s in self.links.values())
 
@@ -610,7 +789,8 @@ class Transport:
             agg = totals.setdefault(stats.cls, {
                 "links": 0, "messages": 0, "bytes_sent": 0,
                 "pages": 0, "raw_bytes": 0, "comp_bytes": 0,
-                "busy_cycles": 0,
+                "busy_cycles": 0, "retx_msgs": 0, "retx_bytes": 0,
+                "dropped_msgs": 0,
             })
             agg["links"] += 1
             agg["messages"] += stats.messages
@@ -619,11 +799,15 @@ class Transport:
             agg["raw_bytes"] += stats.raw_bytes
             agg["comp_bytes"] += stats.comp_bytes
             agg["busy_cycles"] += stats.busy_cycles
+            agg["retx_msgs"] += stats.retx_msgs
+            agg["retx_bytes"] += stats.retx_bytes
+            agg["dropped_msgs"] += stats.dropped_msgs
         return totals
 
     def __repr__(self):
+        retx = f" retx={self.retx_msgs}" if self.retx_msgs else ""
         return (f"<Transport links={len(self.links)} "
                 f"msgs={self.messages} "
                 f"pages={self.pages_shipped + self.pages_pulled}"
                 f"+{self.pages_prefetched}pf "
-                f"({self.prefetch_used} used)>")
+                f"({self.prefetch_used} used){retx}>")

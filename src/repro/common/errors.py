@@ -74,6 +74,17 @@ class BadChildError(KernelError):
     """A syscall referenced an invalid child number."""
 
 
+class NetworkLossError(KernelError):
+    """A cluster message exhausted its retransmission budget.
+
+    Raised by the transport when a hop's deterministic loss schedule
+    drops every copy of a message through ``cost.retx_limit`` retries —
+    the link is effectively dead.  Deterministic like everything else:
+    a given (schedule, program) pair either always raises or never
+    does.
+    """
+
+
 class GuestKilled(BaseException):
     """Injected into a guest thread to unwind it when its space is destroyed.
 

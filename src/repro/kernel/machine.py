@@ -86,6 +86,7 @@ class Machine:
         placement=None,
         prefetch_depth=None,
         compression=False,
+        loss=None,
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -162,9 +163,16 @@ class Machine:
         self.pages_fetched = 0
         # Imported lazily: the cluster package's public modules import
         # Machine, so a module-level import here would cycle.
+        from repro.cluster.faults import resolve_loss
         from repro.cluster.placement import resolve_placement
         from repro.cluster.topology import resolve_topology
         from repro.cluster.transport import Transport
+        #: Deterministic fault schedule of the fabric: None (lossless,
+        #: the default — bit-identical to the pre-fault transport), a
+        #: drop rate, a dict of LossSchedule kwargs, or a LossSchedule.
+        #: Faults are cost-only: computed values and memory images are
+        #: identical under any schedule (see repro.cluster.faults).
+        self.loss = resolve_loss(loss)
         #: Routed fabric the transport prices traffic over: "flat"
         #: (legacy full mesh, the default), "two_tier", "fat_tree", or a
         #: Topology instance/builder (see repro.cluster.topology).

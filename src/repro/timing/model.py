@@ -125,6 +125,15 @@ class CostModel:
     #: the receiving node (zero pages decode for free: a mapping to the
     #: shared zero frame, not a memset).
     comp_decode_byte: float = 0.5
+    #: Cycles a sending endpoint waits before retransmitting a hop copy
+    #: the deterministic loss schedule dropped (``Machine(loss=...)``):
+    #: ~4x the one-way latency, a conventional link-layer timer.  The
+    #: wait is charged to the stalling exchange as a ``kind="retx"``
+    #: trace link edge, anchored at the exchange's schedule segments.
+    retx_timeout: int = 240_000
+    #: Maximum retransmissions per hop copy before the transport
+    #: declares the link dead and raises NetworkLossError.
+    retx_limit: int = 8
 
     # ---- Misc -----------------------------------------------------------
     extras: dict = field(default_factory=dict)

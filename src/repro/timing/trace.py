@@ -130,9 +130,11 @@ class Trace:
         link's latency/bandwidth class so the scheduler can aggregate
         occupancy per class (rack vs oversubscribed core links);
         ``kind`` tags the transfer's protocol purpose ("migrate",
-        "fetch", "prefetch", ...) so stall time can be attributed —
-        notably the explicit stall edges a *late-arriving* prefetched
-        page charges, versus a stop-and-wait demand round trip.
+        "fetch", "prefetch", "retx", ...) so stall time can be
+        attributed — notably the explicit stall edges a *late-arriving*
+        prefetched page charges, versus a stop-and-wait demand round
+        trip, versus the retransmission timeouts a lossy fabric's
+        reliable link layer adds (``kind="retx"``).
         """
         src = src_seg.id if isinstance(src_seg, Segment) else src_seg
         dst = dst_seg.id if isinstance(dst_seg, Segment) else dst_seg

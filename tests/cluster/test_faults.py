@@ -1,0 +1,220 @@
+"""Deterministic fault injection: replay, conservation, and cost-only
+oracles.
+
+The loss schedule decides drop/duplicate/reorder per ``(link,
+msg_serial)`` as a pure function of the seed, so faults must replay
+bit-identically: two runs under one seed fault the same copies of the
+same messages on the same links.  And faults are *cost-only*: under any
+schedule, every workload's computed value and final memory image must
+equal the zero-loss run's — only wire traffic and timing may move.
+Conservation extends to ``delivered + dropped == sent`` per physical
+link.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.bench import cluster_workloads as cw
+from repro.cluster import LossSchedule, MsgType, NetworkStats, resolve_loss
+from repro.cluster.faults import DELIVER, DROP, DUPLICATE, REORDER
+from repro.common.errors import NetworkLossError
+from repro.kernel import Machine
+from repro.timing.schedule import schedule
+
+NODES = 4
+TOPOLOGY = "two_tier:2"
+
+
+def _memory_image(machine):
+    """Digest of the root's full memory image (vpn-ordered frame bytes)."""
+    digest = hashlib.sha256()
+    aspace = machine.root.addrspace
+    for vpn in aspace.mapped_vpns():
+        digest.update(vpn.to_bytes(8, "little"))
+        digest.update(aspace.frame(vpn).data)
+    return digest.hexdigest()
+
+
+def _run(loss=None, **config):
+    config.setdefault("topology", TOPOLOGY)
+    makespan, machine, value = cw.run_cluster(
+        cw.matmult_tree_main(64), NODES, loss=loss, **config)
+    assert machine.transport.conservation_ok()
+    return makespan, machine, value
+
+
+# -- the schedule itself ----------------------------------------------------
+
+def test_decide_is_a_pure_function():
+    """No generator state: any (link, serial, attempt) query returns
+    the same outcome however often and in whatever order it is asked."""
+    sched = LossSchedule(drop=0.3, dup=0.2, reorder=0.1, seed=42)
+    probes = [((0, 1), 7, 0), (("rack0", "core"), 7, 0), ((0, 1), 7, 1),
+              ((1, 0), 7, 0), ((0, 1), 8, 0)]
+    first = [sched.decide(*p) for p in reversed(probes)][::-1]
+    again = [LossSchedule(drop=0.3, dup=0.2, reorder=0.1, seed=42).decide(*p)
+             for p in probes]
+    assert first == again
+    outcomes = set(first) | {sched.decide((0, 1), s) for s in range(200)}
+    assert outcomes <= {DELIVER, DROP, DUPLICATE, REORDER}
+    assert DROP in outcomes  # 30% over 200 serials must hit
+
+
+def test_schedules_nest_across_rates():
+    """Raising the drop rate only adds drops (same seed): every message
+    dropped at 0.1% is dropped at 1%."""
+    low = LossSchedule(drop=0.001, seed=9)
+    high = LossSchedule(drop=0.01, seed=9)
+    for serial in range(5000):
+        if low.decide((0, 1), serial) is DROP:
+            assert high.decide((0, 1), serial) is DROP
+
+
+def test_rate_validation_and_resolve():
+    with pytest.raises(ValueError):
+        LossSchedule(drop=1.5)
+    with pytest.raises(ValueError):
+        LossSchedule(drop=0.6, dup=0.6)
+    with pytest.raises(ValueError):
+        resolve_loss(True)
+    with pytest.raises(ValueError):
+        resolve_loss("lossy")
+    assert resolve_loss(None) is None
+    assert resolve_loss(0.25).drop == 0.25
+    assert resolve_loss({"drop": 0.1, "seed": 3}).seed == 3
+    sched = LossSchedule(drop=0.1)
+    assert resolve_loss(sched) is sched
+
+
+# -- bit-identical replay ---------------------------------------------------
+
+def test_same_seed_replays_bit_identically():
+    """Two runs under one schedule: identical retransmit tables, wire
+    stats, makespans, values, and memory images."""
+    runs = [_run(loss={"drop": 0.05, "seed": 7}) for _ in range(2)]
+    (mk_a, m_a, v_a), (mk_b, m_b, v_b) = runs
+    assert (mk_a, v_a) == (mk_b, v_b)
+    assert _memory_image(m_a) == _memory_image(m_b)
+    stats_a, stats_b = NetworkStats(m_a), NetworkStats(m_b)
+    assert stats_a.retx_table() == stats_b.retx_table()
+    assert stats_a.summary() == stats_b.summary()
+    assert stats_a.retx_msgs > 0  # 5% over a real run must fault
+
+
+def test_different_seeds_move_only_the_wire():
+    """A different seed faults different messages — values and memory
+    images never move, the retransmit ledger does."""
+    mk_a, m_a, v_a = _run(loss={"drop": 0.05, "seed": 1})
+    mk_b, m_b, v_b = _run(loss={"drop": 0.05, "seed": 2})
+    mk_0, m_0, v_0 = _run()
+    assert v_a == v_b == v_0
+    images = {_memory_image(m) for m in (m_a, m_b, m_0)}
+    assert len(images) == 1
+    table_a, table_b = (NetworkStats(m).retx_table() for m in (m_a, m_b))
+    assert table_a != table_b
+
+
+def test_zero_loss_schedule_is_bit_identical_to_no_schedule():
+    """LossSchedule with zero rates must reproduce the pre-fault
+    transport exactly — same makespan, wire bytes, link tables, and no
+    retransmit activity."""
+    mk_none, m_none, v_none = _run(loss=None)
+    mk_zero, m_zero, v_zero = _run(loss=LossSchedule())
+    assert (mk_none, v_none) == (mk_zero, v_zero)
+    assert _memory_image(m_none) == _memory_image(m_zero)
+    stats_none, stats_zero = NetworkStats(m_none), NetworkStats(m_zero)
+    assert stats_none.wire_bytes == stats_zero.wire_bytes
+    assert stats_none.link_table() == stats_zero.link_table()
+    assert stats_zero.retx_msgs == stats_zero.dropped_msgs == 0
+    assert stats_zero.retx_table().startswith("(no link ever")
+    assert stats_none.loss is None and stats_zero.loss is not None
+
+
+# -- loss is cost-only over every protocol path -----------------------------
+
+@pytest.mark.parametrize("config", [
+    {},                                                   # eager delta
+    {"ship_mode": "full"},                                # naive ship
+    {"ship_mode": "demand"},                              # stop-and-wait
+    {"ship_mode": "demand", "prefetch_depth": 16},        # pipelined
+    {"ship_mode": "demand", "prefetch_depth": 16,
+     "compression": True},                                # + compression
+], ids=["delta", "full", "demand", "prefetch", "prefetch+comp"])
+def test_loss_is_cost_only_on_every_path(config):
+    """Memory-image oracle: demand, prefetch, and compression paths all
+    survive a lossy fabric with identical computed state."""
+    mk_clean, m_clean, v_clean = _run(**config)
+    mk_lossy, m_lossy, v_lossy = _run(
+        loss={"drop": 0.03, "dup": 0.01, "reorder": 0.01, "seed": 5},
+        **config)
+    assert v_lossy == v_clean
+    assert _memory_image(m_lossy) == _memory_image(m_clean)
+    assert mk_lossy >= mk_clean  # faults only ever add constraint
+
+
+def test_md5_values_survive_loss():
+    """The other cluster workload family, same oracle."""
+    _, m_clean, v_clean = cw.run_cluster(cw.md5_tree_main(3), NODES,
+                                         topology=TOPOLOGY)
+    _, m_lossy, v_lossy = cw.run_cluster(cw.md5_tree_main(3), NODES,
+                                         topology=TOPOLOGY, loss=0.05)
+    assert v_lossy == v_clean
+    assert _memory_image(m_lossy) == _memory_image(m_clean)
+    assert m_lossy.transport.conservation_ok()
+
+
+# -- accounting -------------------------------------------------------------
+
+def test_conservation_delivered_plus_dropped_equals_sent():
+    """Per physical link: every sent byte is either delivered (clean or
+    duplicate copy) or dropped — no byte vanishes unaccounted."""
+    _, machine, _ = _run(loss={"drop": 0.05, "dup": 0.02, "seed": 11})
+    transport = machine.transport
+    assert transport.drops > 0
+    assert any(s.dropped_bytes for s in transport.links.values())
+    for stats in transport.links.values():
+        assert stats.bytes_sent == stats.bytes_received + stats.dropped_bytes
+    assert transport.retx_bytes == sum(
+        s.retx_bytes for s in transport.links.values())
+
+
+def test_retx_stall_reported_and_monotone_in_rate():
+    """Retransmit waits surface as kind="retx" stall cycles, and nested
+    schedules make retransmit bytes monotone in the drop rate."""
+    retx_bytes = []
+    for rate in (0.0, 0.01, 0.05):
+        mk, machine, _ = _run(loss={"drop": rate, "seed": 13},
+                              ship_mode="demand")
+        retx_bytes.append(machine.transport.retx_bytes)
+        stalls = schedule(machine.trace,
+                          cpus_per_node={n: 1 for n in range(NODES)}
+                          ).stall_cycles
+        if rate == 0.0:
+            assert "retx" not in stalls
+        elif machine.transport.retx_wait:
+            assert stalls.get("retx", 0) > 0
+    assert retx_bytes[0] == 0
+    assert retx_bytes[0] <= retx_bytes[1] <= retx_bytes[2]
+    assert retx_bytes[2] > 0
+
+
+def test_duplicates_and_reorders_accounted():
+    _, m_dup, v_dup = _run(loss={"dup": 0.2, "seed": 3})
+    stats = NetworkStats(m_dup)
+    assert stats.dup_msgs > 0 and stats.dropped_msgs == 0
+    _, m_ro, v_ro = _run(loss={"reorder": 0.2, "seed": 3})
+    assert NetworkStats(m_ro).reorder_msgs > 0
+    _, _, v_clean = _run()
+    assert v_dup == v_ro == v_clean
+
+
+def test_retry_exhaustion_raises_deterministically():
+    """A dead link (drop=1.0) exhausts cost.retx_limit retries and
+    stops the migrating space with a NetworkLossError trap."""
+    with pytest.raises(RuntimeError, match="NetworkLossError"):
+        cw.run_cluster(cw.md5_circuit_main(3), 2, loss=1.0)
+    # Raised directly when the transport is driven outside a guest.
+    machine = Machine(nnodes=2, loss=1.0)
+    with pytest.raises(NetworkLossError):
+        machine.transport._send(MsgType.ACK, 0, 1, 64)
