@@ -6,7 +6,10 @@ Compares the JSON the ablation benchmarks just wrote to
 baselines and exits nonzero when a gated metric regressed more than
 10% — e.g. matmult-tree shipping more wire bytes, stalling more cycles
 on demand paging, or finishing in more virtual cycles than the baseline
-recorded.  Non-gated keys (computed values, conservation flags) must
+recorded.  Host-side throughput keys (``sim_cycles_per_host_s``,
+``replay_speedup_x``) are gated the other way — a value more than 25%
+*below* the baseline (``--throughput-tolerance``) fails, so a simulator
+slowdown is caught even when every virtual-time metric is unchanged.  Non-gated keys (computed values, conservation flags) must
 merely be present; a baseline key absent from the fresh output — or a
 fresh key absent from the baseline — is itself a failure, at any depth,
 so a silently dropped metric can never pass the gate.
@@ -45,6 +48,12 @@ HERE = Path(__file__).resolve().parent
 GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops",
               "demand_stall", "retx_bytes"}
 
+#: Leaf keys gated the other way (lower is a regression): host-side
+#: throughput metrics from conftest.dump_json and the event-core
+#: ablation.  Wall-clock measurements are noisier than virtual-time
+#: ones, so they get their own (looser) ``--throughput-tolerance``.
+THROUGHPUT_KEYS = {"sim_cycles_per_host_s", "replay_speedup_x"}
+
 
 def git_tracked(path):
     """Whether git tracks ``path`` (False too when git is unavailable —
@@ -59,7 +68,8 @@ def git_tracked(path):
         return False
 
 
-def compare(baseline, current, path, tolerance, failures, rows):
+def compare(baseline, current, path, tolerance, failures, rows,
+            throughput_tolerance):
     """Walk ``baseline`` recursively, recording gate violations and a
     diff row per gated leaf."""
     if isinstance(baseline, dict):
@@ -71,7 +81,7 @@ def compare(baseline, current, path, tolerance, failures, rows):
                 failures.append(f"{path}/{key}: missing from current output")
                 continue
             compare(base_value, current[key], f"{path}/{key}", tolerance,
-                    failures, rows)
+                    failures, rows, throughput_tolerance)
         # New cells or metrics must enter the baseline too, at any
         # depth, or they would never be gated.
         for key in sorted(set(current) - set(baseline)):
@@ -87,7 +97,7 @@ def compare(baseline, current, path, tolerance, failures, rows):
             return
         for index, base_value in enumerate(baseline):
             compare(base_value, current[index], f"{path}[{index}]",
-                    tolerance, failures, rows)
+                    tolerance, failures, rows, throughput_tolerance)
         return
     leaf = path.rsplit("/", 1)[-1]
     if leaf in GATED_KEYS and isinstance(baseline, (int, float)):
@@ -102,6 +112,20 @@ def compare(baseline, current, path, tolerance, failures, rows):
             failures.append(
                 f"{path}: {current:,} exceeds baseline {baseline:,} "
                 f"by {over} (> {tolerance:.0%})")
+        return
+    if leaf in THROUGHPUT_KEYS and isinstance(baseline, (int, float)):
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            failures.append(f"{path}: non-numeric {current!r}")
+            return
+        regressed = current < baseline * (1 - throughput_tolerance)
+        rows.append((path, baseline, current, regressed))
+        if regressed:
+            under = (f"{current / baseline - 1:+.1%}" if baseline
+                     else f"{current:,}")
+            failures.append(
+                f"{path}: throughput {current:,} fell below baseline "
+                f"{baseline:,} by {under} "
+                f"(> {throughput_tolerance:.0%} slowdown)")
 
 
 def diff_table(rows):
@@ -123,6 +147,9 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative increase (default 0.10)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.25,
+                        help="allowed relative host-throughput decrease "
+                             "for THROUGHPUT_KEYS (default 0.25)")
     args = parser.parse_args(argv)
 
     baselines = sorted(HERE.glob("BENCH_*.json"))
@@ -148,7 +175,7 @@ def main(argv=None):
         before = len(failures)
         rows = []
         compare(baseline, current, baseline_path.stem, args.tolerance,
-                failures, rows)
+                failures, rows, args.throughput_tolerance)
         failed = len(failures) > before
         if failed:
             failing_rows.extend(rows)

@@ -3,12 +3,19 @@
     python -m repro.bench                 # everything
     python -m repro.bench fig7 fig11      # selected artifacts
     python -m repro.bench --list
+    python -m repro.bench --profile fig11 # + cProfile hotspot report
 
 Prints each figure/table as an aligned text series (the same generators
-the ``benchmarks/`` suite asserts against).
+the ``benchmarks/`` suite asserts against).  With ``--profile`` each
+selected artifact additionally runs under cProfile: the top cumulative
+entries print after the artifact and the full stats land in
+``benchmarks/out/profile_<name>.pstats`` for ``pstats``/snakeviz.
 """
 
 import argparse
+import cProfile
+import os
+import pstats
 import sys
 import time
 
@@ -57,6 +64,10 @@ def main(argv=None):
                         help=f"subset of: {', '.join(ARTIFACTS)}")
     parser.add_argument("--list", action="store_true",
                         help="list available artifacts and exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each artifact under cProfile; dump "
+                             "pstats to benchmarks/out/ and print the "
+                             "top cumulative-time entries")
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(ARTIFACTS))
@@ -67,7 +78,18 @@ def main(argv=None):
         parser.error(f"unknown artifacts: {', '.join(unknown)}")
     for name in selected:
         start = time.time()
-        print(ARTIFACTS[name]())
+        if args.profile:
+            profiler = cProfile.Profile()
+            print(profiler.runcall(ARTIFACTS[name]))
+            out_dir = os.path.join("benchmarks", "out")
+            os.makedirs(out_dir, exist_ok=True)
+            stats_path = os.path.join(out_dir, f"profile_{name}.pstats")
+            profiler.dump_stats(stats_path)
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(12)
+            print(f"[profile: {stats_path}]")
+        else:
+            print(ARTIFACTS[name]())
         print(f"[{name}: {time.time() - start:.1f}s]\n")
     return 0
 

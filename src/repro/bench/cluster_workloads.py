@@ -179,7 +179,8 @@ def matmult_tree(g, nnodes, n, seed):
 
 def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
                 ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False, loss=None):
+                prefetch_depth=None, compression=False, loss=None,
+                shard_workers=0):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
@@ -192,12 +193,16 @@ def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
     ``prefetch_depth``/``compression`` configure the async fetch queues
     and PAGE_BATCH wire compression; ``loss`` injects a deterministic
     fault schedule (drop rate, kwargs dict, or LossSchedule) with
-    retransmission accounting — cost-only, never touching the value.
+    retransmission accounting — cost-only, never touching the value;
+    ``shard_workers`` (>= 2) runs sibling subtrees in forked host
+    processes at rendezvous points, bit-identical to the serial engine
+    (DESIGN §7).
     """
     machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
                       ship_mode=ship_mode, topology=topology,
                       placement=placement, prefetch_depth=prefetch_depth,
-                      compression=compression, loss=loss)
+                      compression=compression, loss=loss,
+                      shard_workers=shard_workers)
 
     def main(g):
         return entry_builder(g, nnodes)

@@ -39,7 +39,7 @@ class Cluster:
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
                  dirty_tracking=True, ship_mode="delta", topology=None,
                  placement=None, prefetch_depth=None, compression=False,
-                 loss=None):
+                 loss=None, shard_workers=0):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -66,6 +66,11 @@ class Cluster:
         #: :mod:`repro.cluster.faults`.  Retransmission timing comes
         #: from the cost model (``retx_timeout``/``retx_limit``).
         self.loss = loss
+        #: Sharded host execution: fork up to this many host processes
+        #: at eligible rendezvous barriers and run sibling subtrees
+        #: concurrently, bit-identically (repro.kernel.shard).  0 or 1
+        #: keeps the serial engine.
+        self.shard_workers = shard_workers
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
@@ -75,7 +80,7 @@ class Cluster:
             dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
             topology=self.topology, placement=self.placement,
             prefetch_depth=self.prefetch_depth, compression=self.compression,
-            loss=self.loss,
+            loss=self.loss, shard_workers=self.shard_workers,
         )
         with machine:
             result = machine.run(entry, args)
@@ -91,7 +96,8 @@ class Cluster:
 def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                 check_value=True, tcp_mode=False, dirty_tracking=True,
                 ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False, loss=None):
+                prefetch_depth=None, compression=False, loss=None,
+                shard_workers=0):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
@@ -100,10 +106,12 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
     schedule must never break it (faults are cost-only).  The machine
     configuration knobs (``tcp_mode``, ``dirty_tracking``,
     ``ship_mode``, ``topology``, ``placement``, ``prefetch_depth``,
-    ``compression``, ``loss``) apply to *every* size, so sweeps compare
-    like with like; pass ``topology`` as a preset string or an
-    ``nnodes -> Topology`` builder, since each size gets its own
-    fabric.
+    ``compression``, ``loss``, ``shard_workers``) apply to *every*
+    size, so sweeps compare like with like; pass ``topology`` as a
+    preset string or an ``nnodes -> Topology`` builder, since each size
+    gets its own fabric.  ``shard_workers`` bounds the forked host
+    workers running sibling subtrees in parallel per size — host-side
+    only, bit-identical results (DESIGN §7).
     """
     series = {}
     base_time = None
@@ -113,7 +121,8 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                           dirty_tracking=dirty_tracking, ship_mode=ship_mode,
                           topology=topology, placement=placement,
                           prefetch_depth=prefetch_depth,
-                          compression=compression, loss=loss)
+                          compression=compression, loss=loss,
+                          shard_workers=shard_workers)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

@@ -128,7 +128,9 @@ class Kernel:
         """Block the caller until a running child stops (paper §3.2)."""
         if child.state is not SpaceState.READY:
             return
-        self.machine.engine.run_until_stopped(child)
+        shard = self.machine.shard
+        if shard is None or not shard.execute(caller, child):
+            self.machine.engine.run_until_stopped(child)
         trace = self.machine.trace
         _, opened = trace.cut(caller.uid, label="rendezvous")
         last = trace.last_closed(child.uid)

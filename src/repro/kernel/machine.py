@@ -87,6 +87,7 @@ class Machine:
         prefetch_depth=None,
         compression=False,
         loss=None,
+        shard_workers=0,
     ):
         #: Cost model used for all virtual-time charging.
         self.cost = cost or CostModel()
@@ -186,6 +187,16 @@ class Machine:
         self.node_map = {}
         #: Message-level interconnect all cross-node paths route through.
         self.transport = Transport(self)
+        #: Sharded host execution (repro.kernel.shard): at a rendezvous
+        #: with >= 2 never-run READY siblings, fork up to this many
+        #: host processes and run the sibling subtrees concurrently,
+        #: adopting each result bit-identically where the serial engine
+        #: would have run it.  0 or 1 keeps the serial engine alone.
+        if shard_workers and shard_workers >= 2:
+            from repro.kernel.shard import ShardCoordinator
+            self.shard = ShardCoordinator(self, shard_workers)
+        else:
+            self.shard = None
 
         #: MergeStats of every kernel merge (tests, ablations).
         self.merge_stats_total = []

@@ -1,0 +1,560 @@
+"""Sharded host execution: run sibling subtrees in forked host processes.
+
+The simulation is deterministic (the Kahn-network argument of paper
+§3.2): a started space's entire subtree computes the same values, the
+same trace segments and the same page images no matter *when* the
+engine runs it, because it can interact only with its own children
+until it stops.  The serial engine exploits none of that — at a
+rendezvous it runs the joined child to completion on the caller's
+thread while every other started sibling sits READY.
+
+This module adds the obvious parallelism without giving up bit
+identity.  At a rendezvous where several siblings are READY and none
+has ever run, the coordinator forks one host process per sibling
+(waves bounded by ``Machine(shard_workers=...)``).  Each worker runs
+exactly one sibling's subtree against the fork-time copy of the
+machine, then ships back a *delta*: the sibling's space graph, the new
+trace suffix, and every machine/transport counter it advanced.  The
+parent blocks until all workers are collected (workers only ever see
+fork-time state), then *adopts* each result lazily — at the rendezvous
+that would have run that sibling — renumbering frame serials, space
+uids and trace segment ids by the parent's counters at adoption time.
+Because the serial engine would have run the sibling at exactly that
+point with exactly those counter values, adoption reproduces the
+serial run's numbering, trace and memory images bit for bit.
+
+Adoption is guarded, not assumed.  Before splicing a result in, the
+coordinator re-checks everything the worker's run depended on that the
+parent may have changed since the fork (frame refcounts and
+generations reachable from the sibling, placement assignments); the
+worker likewise refuses to report if its run touched anything that
+cannot be replayed from a delta (the console-input or clock cursor).
+Any doubt discards the result and runs the sibling inline on the
+current state — the serial path is always correct, forked results are
+only ever a cache of it.
+
+Gates (all must hold or the rendezvous stays serial):
+
+* ``shard_workers >= 2`` and ``os.fork`` exists;
+* ``loss is None`` — fault schedules key off global message serials,
+  which workers would interleave differently;
+* ``ship_mode`` is ``"delta"`` or ``"full"`` and ``prefetch_depth`` is
+  0 — the async prefetch queues read cross-subtree dirty hints, the
+  one machine-global the adoption delta deliberately drops;
+* the placement policy is content-independent (``identity`` /
+  ``round_robin``), so a worker's first-use node assignments replay.
+"""
+
+import os
+import pickle
+
+from repro.kernel.space import SpaceState
+from repro.timing.trace import Segment
+
+#: Transport counters that are pure accumulations (order-independent
+#: sums), shipped from workers as deltas and added on adoption.
+_TRANSPORT_SCALARS = (
+    "migrations", "pages_shipped", "pages_pulled", "pages_prefetched",
+    "prefetch_used", "prefetch_stale", "batches", "messages", "hops",
+    "bytes_total", "busy_total", "raw_total", "comp_total",
+    "codec_cycles", "msg_serial", "drops", "dropped_bytes", "retx_msgs",
+    "retx_bytes", "dups", "reorders", "retx_wait",
+)
+
+#: Additive per-link counter fields of ``LinkStats`` (everything except
+#: the ``cls`` label and the ``by_type`` dict, merged separately).
+_LINK_FIELDS = (
+    "messages", "bytes_sent", "bytes_received", "pages", "raw_bytes",
+    "comp_bytes", "busy_cycles", "retx_msgs", "retx_bytes",
+    "dropped_msgs", "dropped_bytes", "dup_msgs", "dup_bytes",
+    "reorder_msgs",
+)
+
+#: Placement policies whose ``assign`` reads only static state (the
+#: topology and the virtual node number), so a worker-side first-use
+#: assignment can be re-verified at adoption time.
+_REPLAYABLE_PLACEMENTS = ("identity", "round_robin")
+
+
+def _walk_page_slots(space):
+    """Yield every frame reference held by ``space``'s subtree: one
+    entry per mapping and per snapshot pin (the exact multiset the
+    refcounts count)."""
+    for sp in space.walk():
+        for page in sp.addrspace._pages.values():
+            yield page
+        if sp.snapshot is not None:
+            for page in sp.snapshot._frames.values():
+                yield page
+
+
+def _uid_index(uid):
+    """Numeric suffix of a machine-assigned space uid (``"s42"`` -> 42);
+    None for the root's or any foreign uid shape."""
+    if isinstance(uid, str) and uid[:1] == "s" and uid[1:].isdigit():
+        return int(uid[1:])
+    return None
+
+
+class ShardCoordinator:
+    """Fork/collect/adopt state machine attached to one Machine."""
+
+    def __init__(self, machine, workers):
+        self.machine = machine
+        #: Maximum forked workers alive at once (wave size).
+        self.workers = workers
+        #: Space -> collected worker payload awaiting adoption.
+        self.pending = {}
+        #: Space -> fork-time frame snapshot {serial: (page, refs, gen)}.
+        self.snapshots = {}
+        # Fork-time counter bases (identical for every pending result).
+        self._base = None
+        # -- statistics (tests and reporting) --
+        #: Sibling subtrees handed to forked workers.
+        self.forked = 0
+        #: Worker results spliced in at a rendezvous.
+        self.adopted = 0
+        #: Worker results discarded (worker refused, validation failed,
+        #: or the transport failed); the sibling ran inline instead.
+        self.fallbacks = 0
+
+    # -- entry point (called by Kernel._rendezvous) ------------------------
+
+    def execute(self, caller, child):
+        """Run READY ``child`` via the shard machinery if possible.
+
+        Returns True when a forked worker's result was adopted for
+        ``child`` (the rendezvous must not run it again); False when
+        the caller should fall back to the inline engine.
+        """
+        if child in self.pending:
+            payload = self.pending.pop(child)
+            snap = self.snapshots.pop(child)
+            if payload is not None and self._adopt(child, payload, snap):
+                self.adopted += 1
+                return True
+            self.fallbacks += 1
+            return False
+        if self.pending or not self._gates_open():
+            return False
+        siblings = [
+            c for c in caller.children.values()
+            if c.state is SpaceState.READY and (c.ctx is None or c.ctx.dead)
+        ]
+        if len(siblings) < 2 or child not in siblings:
+            return False
+        self._fork_all(caller, siblings)
+        return self.execute(caller, child)
+
+    def _gates_open(self):
+        machine = self.machine
+        return (
+            self.workers >= 2
+            and hasattr(os, "fork")
+            and machine.loss is None
+            and machine.ship_mode in ("delta", "full")
+            and machine.prefetch_depth == 0
+            and machine.placement.name in _REPLAYABLE_PLACEMENTS
+        )
+
+    # -- forking -----------------------------------------------------------
+
+    def _fork_all(self, caller, siblings):
+        """Fork one worker per sibling (waves of ``self.workers``),
+        collect every payload before returning.  The parent mutates
+        nothing between the first fork and the last join, so every
+        worker sees the identical fork-time machine."""
+        machine = self.machine
+        trace = machine.trace
+        self._base = {
+            "serial": machine.frames._next_serial,
+            "uid": machine._uid_counter,
+            "segments": len(trace.segments),
+        }
+        for sib in siblings:
+            self.snapshots[sib] = {
+                page.serial: (page, page.refs, page.generation)
+                for page in _walk_page_slots(sib)
+            }
+        for i in range(0, len(siblings), self.workers):
+            wave = siblings[i:i + self.workers]
+            procs = [(sib, *self._fork_worker(caller, sib)) for sib in wave]
+            for sib, pid, rfd in procs:
+                self.pending[sib] = self._collect(pid, rfd)
+                self.forked += 1
+
+    def _fork_worker(self, caller, sibling):
+        """Fork a worker that runs ``sibling`` and writes its pickled
+        payload (length-prefixed) to a pipe.  Returns (pid, read_fd).
+
+        Fork safety: the forking thread is the caller's guest thread —
+        the sole holder of the execution baton, so every other guest
+        thread is parked in a condition wait holding no locks.  The
+        worker's surviving thread drives the sibling on a fresh guest
+        thread and exits with ``os._exit`` (no unwinding of the cloned,
+        threadless parent contexts).
+        """
+        rfd, wfd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            try:
+                os.close(rfd)
+                try:
+                    payload = self._run_worker(caller, sibling)
+                    data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+                except BaseException:
+                    data = b""
+                os.write(wfd, len(data).to_bytes(8, "little"))
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(wfd, view):]
+                os.close(wfd)
+            finally:
+                os._exit(0)
+        os.close(wfd)
+        return pid, rfd
+
+    def _collect(self, pid, rfd):
+        """Read one worker's payload; None on any shortfall."""
+        try:
+            chunks = []
+            while True:
+                chunk = os.read(rfd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            data = b"".join(chunks)
+        finally:
+            os.close(rfd)
+            os.waitpid(pid, 0)
+        if len(data) < 8:
+            return None
+        size = int.from_bytes(data[:8], "little")
+        if size == 0 or len(data) != size + 8:
+            return None
+        try:
+            return pickle.loads(data[8:])
+        except Exception:
+            return None
+
+    # -- worker side -------------------------------------------------------
+
+    def _run_worker(self, caller, sibling):
+        """Inside the forked process: run ``sibling``'s subtree on the
+        fork-time machine and return the delta payload (or None to
+        demand the serial fallback)."""
+        machine = self.machine
+        trace = machine.trace
+        transport = machine.transport
+        machine.shard = None        # no nested sharding inside workers
+        machine.engine._contexts = []   # parent ctxs have no threads here
+
+        base = self._base
+        pre_open = dict(trace._open)
+        pre_last = dict(trace._last)
+        edges0 = len(trace.edges)
+        transfers0 = len(trace.transfers)
+        caller_seg = pre_open.get(caller.uid)
+        caller_cycles = caller_seg.cycles if caller_seg is not None else None
+        t0 = pre_open.get(sibling.uid)
+        # Fork-time frame slots, to detect which pre-fork frames the
+        # run replaced (COW breaks, unmaps, re-pins): only their
+        # refcounts condition the run's COW decisions.
+        fork_slots = []
+        for sp in sibling.walk():
+            fork_slots.append((sp.addrspace._pages, dict(sp.addrspace._pages)))
+            if sp.snapshot is not None:
+                fork_slots.append((sp.snapshot._frames,
+                                   dict(sp.snapshot._frames)))
+        time0 = machine._time_idx
+        console0 = machine._console_pos
+        out0 = len(machine.console_output)
+        dbg0 = len(machine.debug_lines)
+        fetched0 = machine.pages_fetched
+        alloc0 = machine.frames.frames_allocated
+        merges0 = len(machine.merge_stats_total)
+        msec0 = machine.merge_seconds
+        map0 = len(machine.node_map)
+        cache0 = {n: dict(c) for n, c in machine.node_cache.items()}
+        origin0 = dict(machine.frame_origin)
+        scalars0 = {k: getattr(transport, k) for k in _TRANSPORT_SCALARS}
+        links0 = {link: ls.as_dict() for link, ls in transport.links.items()}
+
+        machine.engine.run_until_stopped(sibling)
+
+        # Refuse anything a delta cannot replay: a still-running
+        # sibling, cursor-device reads (values depend on global order),
+        # outstanding prefetch exchanges, or work leaking into the
+        # caller's open segment.
+        if sibling.state is SpaceState.READY:
+            return None
+        if machine._time_idx != time0 or machine._console_pos != console0:
+            return None
+        if any(machine.transport.inflight.values()):
+            return None
+        if caller_seg is not None and caller_seg.cycles != caller_cycles:
+            return None
+
+        serial0 = base["serial"]
+        replaced = sorted({
+            page.serial
+            for container, before in fork_slots
+            for vpn, page in before.items()
+            if page.serial <= serial0 and container.get(vpn) is not page
+        })
+
+        def diff_nested(now, before):
+            out = {}
+            for key, cur in now.items():
+                prev = before.get(key, {})
+                delta = {k: v for k, v in cur.items() if prev.get(k) != v}
+                if delta:
+                    out[key] = delta
+            return out
+
+        link_delta = {}
+        for link, ls in transport.links.items():
+            prev = links0.get(link)
+            cur = ls.as_dict()
+            fields = {
+                k: cur[k] - (prev[k] if prev else 0) for k in _LINK_FIELDS
+            }
+            by_type = {
+                t: n - (prev["by_type"].get(t, 0) if prev else 0)
+                for t, n in cur["by_type"].items()
+            }
+            fields["by_type"] = {t: n for t, n in by_type.items() if n}
+            if any(v for v in fields.values() if not isinstance(v, dict)) \
+                    or fields["by_type"]:
+                fields["cls"] = cur["cls"]
+                link_delta[link] = fields
+
+        for sp in sibling.walk():
+            sp.machine = None
+            sp.ctx = None
+            sp.addrspace.allocator = None
+        sibling.parent = None
+
+        return {
+            "spaces": sibling,
+            "replaced": replaced,
+            "t0": None if t0 is None else (t0.id, t0.cycles, t0.closed),
+            "segments": [
+                (s.id, s.uid, s.node, s.cycles, s.label, s.closed)
+                for s in trace.segments[base["segments"]:]
+            ],
+            "edges": trace.edges[edges0:],
+            "transfers": trace.transfers[transfers0:],
+            "open": {
+                uid: seg.id for uid, seg in trace._open.items()
+                if pre_open.get(uid) is not seg
+            },
+            "last": {
+                uid: seg.id for uid, seg in trace._last.items()
+                if pre_last.get(uid) is not seg
+            },
+            "uid_count": machine._uid_counter - base["uid"],
+            "serials": machine.frames._next_serial - base["serial"],
+            "frames_allocated": machine.frames.frames_allocated - alloc0,
+            "pages_fetched": machine.pages_fetched - fetched0,
+            "console_out": bytes(machine.console_output[out0:]),
+            "debug_lines": machine.debug_lines[dbg0:],
+            "merge_stats": machine.merge_stats_total[merges0:],
+            "merge_seconds": machine.merge_seconds - msec0,
+            "node_cache": diff_nested(machine.node_cache, cache0),
+            "frame_origin": {
+                s: n for s, n in machine.frame_origin.items()
+                if origin0.get(s) != n
+            },
+            "placements": list(machine.node_map.items())[map0:],
+            "transport": {
+                k: getattr(transport, k) - scalars0[k]
+                for k in _TRANSPORT_SCALARS
+            },
+            "links": link_delta,
+        }
+
+    # -- adoption (parent side) --------------------------------------------
+
+    def _adopt(self, child, payload, snap):
+        """Validate a worker result against the *current* parent state
+        and splice it in, renumbering by the current counters.  Returns
+        False (mutating nothing) when validation fails."""
+        machine = self.machine
+        trace = machine.trace
+        base = self._base
+        serial0 = base["serial"]
+
+        # The worker computed against fork-time frames.  The sibling's
+        # own (still unadopted) references pin every reachable frame's
+        # content, so generations cannot have moved; refcounts matter
+        # only for the frames the worker *wrote or replaced* — a
+        # parent-side reference loss there (refs could have reached 1)
+        # might have turned the worker's COW into an in-place write.
+        # Reference gains are safe: more sharing still copies-on-write.
+        for serial, (page, refs, generation) in snap.items():
+            if page.generation != generation:
+                return False
+        for serial in payload["replaced"]:
+            entry = snap.get(serial)
+            if entry is None or entry[0].refs < entry[1]:
+                return False
+        # First-use placements made inside the worker must replay:
+        # same assignment from the current map, no bijection clash.
+        node_map = machine.node_map
+        used = set(node_map.values())
+        for vnode, phys in payload["placements"]:
+            current = node_map.get(vnode)
+            if current is None:
+                if phys in used or \
+                        machine.placement.assign(machine, None, vnode) != phys:
+                    return False
+                used.add(phys)
+            elif current != phys:
+                return False
+        # Collect the adopted graph's frame slots; any pre-fork serial
+        # must resolve to a fork-time frame of this sibling.
+        adopted = payload["spaces"]
+        page_slots = {}          # id(page) -> [page, slot_count]
+        for page in _walk_page_slots(adopted):
+            entry = page_slots.get(id(page))
+            if entry is None:
+                page_slots[id(page)] = [page, 1]
+            else:
+                entry[1] += 1
+        for page, _count in page_slots.values():
+            if page.serial <= serial0 and page.serial not in snap:
+                return False
+
+        # -- validation passed: splice (no failure paths below) --
+        delta_s = machine.frames._next_serial - serial0
+        delta_u = machine._uid_counter - base["uid"]
+        delta_l = len(trace.segments) - base["segments"]
+        uid_base = base["uid"]
+
+        def remap_uid(uid):
+            index = _uid_index(uid)
+            if index is not None and index > uid_base:
+                return f"s{index + delta_u}"
+            return uid
+
+        # Exact refcounts: the sibling's old image releases every
+        # reference it held, the adopted image re-takes its own.
+        for page in _walk_page_slots(child):
+            page.decref()
+        pre_fork = {}            # unpickled pre-fork copy -> live frame
+        for page, count in page_slots.values():
+            if page.serial <= serial0:
+                live = snap[page.serial][0]
+                pre_fork[id(page)] = live
+                for _ in range(count):
+                    live.incref()
+            else:
+                page.serial += delta_s
+                page.refs = count
+        if pre_fork:
+            # Restore identity of pre-fork frames (the pickle copied
+            # them): point every adopted slot back at the live frame.
+            for sp in adopted.walk():
+                pages = sp.addrspace._pages
+                for vpn, page in pages.items():
+                    live = pre_fork.get(id(page))
+                    if live is not None:
+                        pages[vpn] = live
+                if sp.snapshot is not None:
+                    frames = sp.snapshot._frames
+                    for vpn, page in frames.items():
+                        live = pre_fork.get(id(page))
+                        if live is not None:
+                            frames[vpn] = live
+
+        for sp in adopted.walk():
+            sp.machine = machine
+            sp.ctx = None
+            sp.addrspace.allocator = machine.frames
+            sp.uid = remap_uid(sp.uid)
+
+        # Splice the adopted image into the existing Space object (the
+        # caller's child table and the trace keep referring to it).
+        child.addrspace = adopted.addrspace
+        child.regs = adopted.regs
+        child.snapshot = adopted.snapshot
+        child.children = adopted.children
+        for grandchild in child.children.values():
+            grandchild.parent = child
+        child.state = adopted.state
+        child.trap = adopted.trap
+        child.trap_info = adopted.trap_info
+        child.insn_limit = adopted.insn_limit
+        child.visit_tokens = adopted.visit_tokens
+        child.cur_node = adopted.cur_node
+        child.killed = adopted.killed
+        child.ctx = None
+
+        # Trace suffix: segment ids shift by the parent's growth since
+        # the fork; the sibling's fork-time open segment takes its
+        # final charge.
+        seg_base = base["segments"]
+        new_segments = {}
+        for sid, uid, node, cycles, label, closed in payload["segments"]:
+            seg = Segment(sid + delta_l, remap_uid(uid), node, label)
+            seg.cycles = cycles
+            seg.closed = closed
+            trace.segments.append(seg)
+            new_segments[sid] = seg
+
+        def remap_sid(sid):
+            return sid + delta_l if sid >= seg_base else sid
+
+        trace.edges.extend(
+            (remap_sid(a), remap_sid(b), lat)
+            for a, b, lat in payload["edges"])
+        trace.transfers.extend(
+            (remap_sid(a), remap_sid(b), link, busy, lat, cls, kind)
+            for a, b, link, busy, lat, cls, kind in payload["transfers"])
+        if payload["t0"] is not None:
+            t0_id, t0_cycles, t0_closed = payload["t0"]
+            t0 = trace.segments[t0_id]
+            t0.cycles = t0_cycles
+            t0.closed = t0_closed
+
+        def resolve(sid):
+            return new_segments[sid] if sid >= seg_base \
+                else trace.segments[sid]
+
+        for uid, sid in payload["open"].items():
+            trace._open[remap_uid(uid)] = resolve(sid)
+        for uid, sid in payload["last"].items():
+            trace._last[remap_uid(uid)] = resolve(sid)
+
+        # Machine and transport ledgers (pure accumulations).
+        machine._uid_counter += payload["uid_count"]
+        machine.frames._next_serial += payload["serials"]
+        machine.frames.frames_allocated += payload["frames_allocated"]
+        machine.pages_fetched += payload["pages_fetched"]
+        machine.console_output.extend(payload["console_out"])
+        machine.debug_lines.extend(payload["debug_lines"])
+        machine.merge_stats_total.extend(payload["merge_stats"])
+        machine.merge_seconds += payload["merge_seconds"]
+        for node, entries in payload["node_cache"].items():
+            cache = machine.node_cache[node]
+            for serial, generation in entries.items():
+                if serial > serial0:
+                    serial += delta_s
+                cache[serial] = generation
+        for serial, node in payload["frame_origin"].items():
+            if serial > serial0:
+                serial += delta_s
+            machine.frame_origin[serial] = node
+        for vnode, phys in payload["placements"]:
+            machine.node_map.setdefault(vnode, phys)
+        transport = machine.transport
+        for key, delta in payload["transport"].items():
+            setattr(transport, key, getattr(transport, key) + delta)
+        for link, fields in payload["links"].items():
+            stats = transport.link(link)
+            for key in _LINK_FIELDS:
+                setattr(stats, key, getattr(stats, key) + fields[key])
+            for mtype, count in fields["by_type"].items():
+                stats.by_type[mtype] = stats.by_type.get(mtype, 0) + count
+        return True

@@ -15,6 +15,22 @@ occupy a network channel: a transfer must win its link, serialize for
 deterministic source-finish order), then transit ``latency`` cycles.
 Per-link occupancy totals are reported on the result.
 
+Two engines implement the identical policy behind the ``engine=`` seam:
+
+* ``"event"`` (default) — the discrete-event core in
+  :mod:`repro.timing.event_core`: compiled CSR adjacency, packed-int
+  event heap, interned link/class/kind statistics.  O(log n) per event
+  with no per-event tuple/dict churn; this is what makes 64-1024-node
+  fat-tree sweeps affordable.
+* ``"list"`` — the original list scheduler below, kept verbatim as the
+  oracle.  The two are bit-identical on every trace (the equivalence
+  suite in ``tests/timing/test_event_core.py`` and the simcore
+  ablation enforce this), so either may regenerate any committed
+  baseline.
+
+``REPRO_SCHED_ENGINE`` in the environment overrides the default for a
+whole process (CI's ablation uses it to run the oracle side).
+
 A link transfer becomes eligible when its *source* segment finishes —
 which may be long before the destination's program-order predecessor
 does.  An async prefetch anchored at an early segment therefore
@@ -26,13 +42,24 @@ the prefetch ablation gates.
 """
 
 import heapq
+import os
 from collections import defaultdict
+
+from repro.timing.event_core import run_event_schedule
 
 
 class ScheduleResult:
-    """Outcome of scheduling a trace."""
+    """Outcome of scheduling a trace.
 
-    __slots__ = ("makespan", "busy", "start", "finish", "cpu_count",
+    ``start``/``finish`` are exposed as mappings (segment id -> time)
+    but materialized lazily: the event engine hands over dense
+    per-segment time arrays, and the dict form is only built if a
+    caller actually indexes into it.  High-node-count sweeps that read
+    just ``makespan``/``stall_cycles`` never pay for two dicts of every
+    segment's timestamps.
+    """
+
+    __slots__ = ("makespan", "busy", "_start", "_finish", "cpu_count",
                  "link_busy", "class_busy", "stall_cycles")
 
     def __init__(self, makespan, busy, start, finish, cpu_count,
@@ -41,10 +68,10 @@ class ScheduleResult:
         self.makespan = makespan
         #: Total CPU-busy cycles (sum of scheduled segment durations).
         self.busy = busy
-        #: segment id -> start time.
-        self.start = start
-        #: segment id -> finish time.
-        self.finish = finish
+        # Dicts (legacy engine) or dense per-segment lists (event
+        # engine), normalized on first access via the properties below.
+        self._start = start
+        self._finish = finish
         #: Total CPUs across all nodes.
         self.cpu_count = cpu_count
         #: link -> serialization cycles the link spent occupied.
@@ -61,6 +88,20 @@ class ScheduleResult:
         self.stall_cycles = stall_cycles or {}
 
     @property
+    def start(self):
+        """segment id -> start time (materialized on first access)."""
+        if not isinstance(self._start, dict):
+            self._start = dict(enumerate(self._start))
+        return self._start
+
+    @property
+    def finish(self):
+        """segment id -> finish time (materialized on first access)."""
+        if not isinstance(self._finish, dict):
+            self._finish = dict(enumerate(self._finish))
+        return self._finish
+
+    @property
     def utilization(self):
         """Fraction of CPU capacity kept busy over the makespan."""
         if self.makespan == 0:
@@ -74,7 +115,11 @@ class ScheduleResult:
         )
 
 
-def schedule(trace, ncpus=1, cpus_per_node=None):
+#: Engines selectable through :func:`schedule`'s ``engine=`` seam.
+ENGINES = ("event", "list")
+
+
+def schedule(trace, ncpus=1, cpus_per_node=None, engine=None):
     """Compute the makespan of ``trace`` on the given CPU configuration.
 
     Parameters
@@ -85,11 +130,30 @@ def schedule(trace, ncpus=1, cpus_per_node=None):
         CPUs available on every node not listed in ``cpus_per_node``.
     cpus_per_node:
         Optional dict node -> CPU count overriding ``ncpus``.
+    engine:
+        ``"event"`` (discrete-event core, the default) or ``"list"``
+        (the original list scheduler, kept as the oracle).  ``None``
+        takes ``REPRO_SCHED_ENGINE`` from the environment, else
+        ``"event"``.  Both produce bit-identical results.
 
     Returns
     -------
     ScheduleResult
     """
+    if engine is None:
+        engine = os.environ.get("REPRO_SCHED_ENGINE", "event")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown schedule engine {engine!r}; "
+                         f"expected one of {ENGINES}")
+    if engine == "event":
+        if not trace.segments:
+            return ScheduleResult(0, 0, {}, {}, max(1, ncpus))
+        return ScheduleResult(*run_event_schedule(trace, ncpus, cpus_per_node))
+    return _schedule_list(trace, ncpus, cpus_per_node)
+
+
+def _schedule_list(trace, ncpus=1, cpus_per_node=None):
+    """The original greedy list scheduler (the ``engine="list"`` oracle)."""
     segments = trace.segments
     if not segments:
         return ScheduleResult(0, 0, {}, {}, max(1, ncpus))

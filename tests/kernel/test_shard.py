@@ -1,0 +1,117 @@
+"""Bit-identity of sharded host execution vs the serial engine.
+
+``Machine(shard_workers=N)`` forks sibling subtrees into worker host
+processes at rendezvous points and adopts their deltas (see
+repro.kernel.shard).  The sharded run must be indistinguishable from
+the serial one in every observable: computed values, the full trace,
+every memory image (data, refcounts, frame serials, generations), the
+frame/uid counters, page-cache and origin bookkeeping, console output
+and every transport/link statistic.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import cluster_workloads as cw
+from repro.cluster.network import NetworkStats
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="sharding requires os.fork")
+
+
+def fingerprint(machine, value, makespan):
+    """Every observable of a finished machine, shard-independent iff
+    the sharded run was bit-identical to the serial one."""
+    trace = machine.trace
+    memory = []
+    for sp in machine.root.walk():
+        pages = sorted(
+            (vpn, bytes(page.data), page.refs, page.serial, page.generation)
+            for vpn, page in sp.addrspace._pages.items())
+        memory.append((sp.uid, sp.state.name, sp.cur_node, pages))
+    net = NetworkStats(machine)
+    return {
+        "value": value,
+        "makespan": makespan,
+        "segments": [(s.id, s.uid, s.node, s.cycles, s.label, s.closed)
+                     for s in trace.segments],
+        "edges": trace.edges,
+        "transfers": trace.transfers,
+        "console": bytes(machine.console_output),
+        "debug": list(machine.debug_lines),
+        "next_serial": machine.frames._next_serial,
+        "frames_allocated": machine.frames.frames_allocated,
+        "uid_counter": machine._uid_counter,
+        "pages_fetched": machine.pages_fetched,
+        "node_cache": {n: dict(c) for n, c in machine.node_cache.items()},
+        "frame_origin": dict(machine.frame_origin),
+        "node_map": dict(machine.node_map),
+        "memory": memory,
+        "per_link": net.per_link,
+        "per_class": net.per_class,
+        "pages_shipped": net.pages_shipped,
+        "bytes_moved": net.bytes_moved,
+        "messages": net.messages,
+        "hops": net.hops,
+        "migrations": net.migrations,
+    }
+
+
+def run_pair(builder, nnodes, workers=4, **kwargs):
+    serial_mk, serial_m, serial_v = cw.run_cluster(builder, nnodes, **kwargs)
+    shard_mk, shard_m, shard_v = cw.run_cluster(
+        builder, nnodes, shard_workers=workers, **kwargs)
+    return (fingerprint(serial_m, serial_v, serial_mk),
+            fingerprint(shard_m, shard_v, shard_mk),
+            shard_m.shard)
+
+
+@pytest.mark.parametrize("workload,builder", [
+    ("md5_circuit", cw.md5_circuit_main(3)),
+    ("md5_tree", cw.md5_tree_main(3)),
+    ("matmult_tree", cw.matmult_tree_main(64)),
+], ids=["md5_circuit", "md5_tree", "matmult_tree"])
+def test_sharded_run_bit_identical(workload, builder):
+    serial, sharded, shard = run_pair(builder, 4)
+    assert shard.forked > 0
+    assert shard.adopted == shard.forked
+    assert shard.fallbacks == 0
+    assert sharded == serial
+
+
+def test_sharded_run_bit_identical_on_fat_tree():
+    # The flagship sweep shape: a wide circuit of siblings, one worker
+    # wave per shard_workers batch, on a routed fabric.
+    serial, sharded, shard = run_pair(
+        cw.md5_circuit_main(3), 8, workers=3, topology="fat_tree:2")
+    assert shard.adopted == shard.forked == 8
+    assert sharded == serial
+
+
+def test_shard_disabled_below_two_workers():
+    _, machine, _ = cw.run_cluster(cw.md5_tree_main(2), 2, shard_workers=1)
+    assert machine.shard is None
+
+
+@pytest.mark.parametrize("gate_kwargs", [
+    {"loss": 0.05},
+    {"placement": "locality", "topology": "two_tier:2"},
+    {"prefetch_depth": 2},
+], ids=["loss", "locality_placement", "prefetch"])
+def test_gated_configs_stay_serial_and_identical(gate_kwargs):
+    # Configurations whose results cannot be replayed from a worker
+    # delta (fault schedules keyed on global message serials, stats-fed
+    # placement, cross-subtree prefetch hints) must not fork — and must
+    # still produce the serial answer.
+    serial, sharded, shard = run_pair(cw.matmult_tree_main(32), 4,
+                                      **gate_kwargs)
+    assert shard.forked == 0
+    assert sharded == serial
+
+
+def test_full_ship_mode_shards_and_matches():
+    serial, sharded, shard = run_pair(cw.md5_tree_main(3), 4,
+                                      ship_mode="full")
+    assert shard.adopted > 0
+    assert sharded == serial

@@ -1,0 +1,166 @@
+"""Bit-identity of the event-driven scheduler core vs the list oracle.
+
+``schedule(engine="event")`` (the default) and ``schedule(engine="list")``
+(the original list scheduler, kept verbatim) implement the identical
+policy; every field of their ScheduleResults must match exactly on every
+trace.  These tests drive both engines over real workload traces (the
+cluster workloads across fabrics, ship modes and lossy links) and over
+synthetic traces that exercise link contention, stall attribution and
+the error paths.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import cluster_workloads as cw
+from repro.timing import Trace
+from repro.timing.schedule import ENGINES, schedule
+
+
+def result_fields(result):
+    """Every observable field of a ScheduleResult, dict-normalized."""
+    return {
+        "makespan": result.makespan,
+        "busy": result.busy,
+        "start": dict(result.start),
+        "finish": dict(result.finish),
+        "cpu_count": result.cpu_count,
+        "link_busy": dict(result.link_busy),
+        "class_busy": dict(result.class_busy),
+        "stall_cycles": dict(result.stall_cycles),
+    }
+
+
+def assert_engines_agree(trace, **kwargs):
+    event = result_fields(schedule(trace, engine="event", **kwargs))
+    oracle = result_fields(schedule(trace, engine="list", **kwargs))
+    assert event == oracle
+    return event
+
+
+# -- real workload traces -------------------------------------------------
+
+WORKLOADS = [
+    ("md5_tree", cw.md5_tree_main(3)),
+    ("matmult_tree", cw.matmult_tree_main(32)),
+]
+TOPOLOGIES = [None, "two_tier:2", "fat_tree:2"]
+SHIP_MODES = ["delta", "full", "demand"]
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES,
+                         ids=["flat", "two_tier", "fat_tree"])
+@pytest.mark.parametrize("workload", [w for w, _ in WORKLOADS])
+def test_workload_traces_identical_across_fabrics(workload, topology):
+    builder = dict(WORKLOADS)[workload]
+    _, machine, _ = cw.run_cluster(builder, 4, topology=topology)
+    fields = assert_engines_agree(
+        machine.trace, cpus_per_node={n: 1 for n in range(4)})
+    assert fields["makespan"] > 0
+
+
+@pytest.mark.parametrize("ship_mode", SHIP_MODES)
+def test_workload_traces_identical_across_ship_modes(ship_mode):
+    _, machine, _ = cw.run_cluster(cw.matmult_tree_main(32), 4,
+                                   topology="fat_tree:2", ship_mode=ship_mode)
+    assert_engines_agree(machine.trace,
+                         cpus_per_node={n: 1 for n in range(4)})
+
+
+def test_workload_trace_identical_with_loss():
+    # Retransmissions add extra link transfers; both engines must charge
+    # them to the same links, classes and stall kinds.
+    _, machine, _ = cw.run_cluster(cw.matmult_tree_main(32), 4,
+                                   topology="two_tier:2", loss=0.05)
+    fields = assert_engines_agree(
+        machine.trace, cpus_per_node={n: 1 for n in range(4)})
+    assert fields["link_busy"]
+
+
+@pytest.mark.parametrize("ncpus", [1, 2, 10**9])
+def test_workload_trace_identical_across_cpu_counts(ncpus):
+    _, machine, _ = cw.run_cluster(cw.md5_tree_main(3), 4)
+    assert_engines_agree(machine.trace, ncpus=ncpus)
+
+
+# -- synthetic traces -----------------------------------------------------
+
+def random_trace(rng, ncontexts=6, ncuts=8):
+    """A random closed DAG with plain edges and contended link edges."""
+    tr = Trace()
+    closed = []
+    for c in range(ncontexts):
+        tr.begin(f"c{c}", node=c % 3)
+        tr.charge(f"c{c}", rng.randrange(1, 50))
+    for _ in range(ncuts):
+        uid = f"c{rng.randrange(ncontexts)}"
+        seg, _ = tr.cut(uid)
+        tr.charge(uid, rng.randrange(1, 50))
+        closed.append(seg)
+        if closed and rng.random() < 0.7:
+            src = rng.choice(closed)
+            dst = tr._open[uid]
+            if src.id < dst.id:
+                if rng.random() < 0.5:
+                    tr.edge(src, dst, latency=rng.randrange(0, 20))
+                else:
+                    tr.link_edge(src, dst, link=(src.node, dst.node),
+                                 busy=rng.randrange(0, 30),
+                                 latency=rng.randrange(0, 10),
+                                 cls="rack" if rng.random() < 0.5 else "core",
+                                 kind=rng.choice(["fetch", "migrate", None]))
+    tr.finish()
+    return tr
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_traces_identical(seed):
+    rng = random.Random(seed)
+    tr = random_trace(rng)
+    for ncpus in (1, 2, 10**9):
+        assert_engines_agree(tr, ncpus=ncpus)
+    assert_engines_agree(tr, cpus_per_node={0: 1, 1: 2, 2: 1})
+
+
+def test_empty_trace_identical():
+    assert_engines_agree(Trace())
+
+
+def test_plan_cache_reuse_stays_identical():
+    # Replaying the same trace repeatedly (the sweep/CI pattern) reuses
+    # the event engine's compiled plan; results must not drift.
+    tr = random_trace(random.Random(99))
+    first = result_fields(schedule(tr, ncpus=2, engine="event"))
+    for _ in range(3):
+        assert result_fields(schedule(tr, ncpus=2, engine="event")) == first
+    assert result_fields(schedule(tr, ncpus=2, engine="list")) == first
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_cycle_detection_identical(engine):
+    tr = Trace()
+    tr.begin("a")
+    tr.charge("a", 5)
+    s0, s1 = tr.cut("a")
+    tr.charge("a", 5)
+    tr.finish()
+    tr.edge(s1, s0)  # back edge: s1 -> s0 while s0 -> s1 already exists
+    with pytest.raises(ValueError, match="cycle or dangling"):
+        schedule(tr, engine=engine)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown schedule engine"):
+        schedule(Trace(), engine="quantum")
+
+
+def test_env_override_selects_engine(monkeypatch):
+    # REPRO_SCHED_ENGINE flips the default for a whole process (CI's
+    # ablation uses it to run the oracle side); either way the numbers
+    # are the same.
+    tr = random_trace(random.Random(3))
+    baseline = result_fields(schedule(tr, ncpus=2))
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_SCHED_ENGINE", engine)
+        assert result_fields(schedule(tr, ncpus=2)) == baseline
