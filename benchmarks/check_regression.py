@@ -45,8 +45,14 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 
 #: Leaf keys gated against the baseline (higher is a regression).
+#: ``adaptive_stall_cycles`` (total schedule() stall of an adaptive
+#: control-plane cell) and ``adaptive_vs_best_static_pct`` (signed
+#: makespan margin of adaptive over the best static knob setting —
+#: negative when adaptive wins, so drifting toward zero is a
+#: regression) gate the control plane's payoff.
 GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops",
-              "demand_stall", "retx_bytes"}
+              "demand_stall", "retx_bytes", "adaptive_stall_cycles",
+              "adaptive_vs_best_static_pct"}
 
 #: Leaf keys gated the other way (lower is a regression): host-side
 #: throughput metrics from conftest.dump_json and the event-core
@@ -104,7 +110,11 @@ def compare(baseline, current, path, tolerance, failures, rows,
         if not isinstance(current, (int, float)) or isinstance(current, bool):
             failures.append(f"{path}: non-numeric {current!r}")
             return
-        regressed = current > baseline * (1 + tolerance)
+        # Tolerance scales with |baseline| so negative baselines (the
+        # adaptive-margin keys, where more negative is better) gate
+        # correctly: a plain multiplicative band would *widen* upward
+        # for them instead of bounding the drift toward zero.
+        regressed = current > baseline + tolerance * abs(baseline)
         rows.append((path, baseline, current, regressed))
         if regressed:
             over = (f"{current / baseline - 1:+.1%}" if baseline

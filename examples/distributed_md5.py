@@ -97,6 +97,33 @@ def main(smoke=False):
     print("\nper-link retransmit ledger (bit-identical on every rerun):")
     print(stats.retx_table())
 
+    # The transport accumulates its counters into *telemetry windows* —
+    # snapshot-and-reset views a control plane (or an operator) reads.
+    # This machine ran without a controller, so the whole run is still
+    # sitting in its open window: per-node demand pulls, prefetch
+    # issue/hit/waste splits, and late-redeem stalls.
+    window = stats.window()
+    print(f"\ntelemetry window of the whole static run (the input a "
+          f"controller reads every quantum):")
+    print(window.table())
+
+    # Now hand the knobs to the control plane: instead of a static
+    # prefetch depth and a single global retransmit timer, a
+    # deterministic per-node controller consumes one such window per
+    # quantum and re-tunes queue depths, per-route timeouts, and
+    # placement at quantum boundaries.  Decisions are a pure function
+    # of simulated state, so the decision log replays bit-identically
+    # — and the answer still cannot change.
+    adaptive_makespan, machine, found = run_cluster(
+        md5_tree_main(length), big, topology=fabric,
+        placement="locality", ship_mode="demand", compression=True,
+        loss={"drop": 0.02, "seed": 2010}, control="adaptive")
+    assert found == target
+    print(f"\nsame lossy run under adaptive control: "
+          f"makespan {lossy_makespan:,} -> {adaptive_makespan:,}")
+    print("\ncontroller decision log (replay-exact):")
+    print(machine.control.decision_log(last=12))
+
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])

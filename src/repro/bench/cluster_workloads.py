@@ -174,13 +174,96 @@ def matmult_tree(g, nnodes, n, seed):
 
 
 # ---------------------------------------------------------------------------
+# matmult_skewed: no single static prefetch depth wins both phases
+# ---------------------------------------------------------------------------
+
+#: Phase-A ring slices live well above the matmult arrays and the md5
+#: digest page, inside the SHARE window (so fork copy/snap covers them).
+SKEW_BASE = SHARED_BASE + 0x20_0000
+
+
+def _skew_slice(i, width):
+    """Byte range of ring slice ``i`` (``width`` pages each)."""
+    return SKEW_BASE + i * width * PAGE_SIZE, width * PAGE_SIZE
+
+
+def _skew_worker(g, sl, width, work, salt):
+    """Round worker: scan the round's hot slice, compute per page."""
+    addr, _ = _skew_slice(sl, width)
+    total = salt
+    for p in range(width):
+        total = (total + g.read(addr + p * PAGE_SIZE, 4)[0] + p) & 0xFF
+        g.work(work)
+    return total
+
+
+def matmult_skewed(g, nnodes, n, rounds, width, work, seed):
+    """Two-phase workload where no single prefetch depth wins (the
+    adaptive ablation's any-static-loses case).
+
+    **Phase A** marches a hot window through a ring of rewritten-every-
+    round shared slices: each round the root regenerates *all* slices
+    (hot shared pages), then forks one worker per node that copies and
+    scans only the round's slice — the next round's workers scan the
+    next slice, and so on around the ring.  The demand miss on the hot
+    slice makes the kernel's sequential re-prime speculate up to
+    ``4 * depth`` pages past it, and the migration ledger primes each
+    visited node's queue with the freshly rewritten ring — but the root
+    rewrites every slice again before the march arrives, so at static
+    depth ``d`` roughly ``d`` queued transfers per node per round come
+    back as ``prefetch_stale`` demand misses: wire waste depth 0 never
+    pays, so shallow queues win phase A.  **Phase B** is the ordinary
+    matmult tree, whose one-shot bulk streams reward exactly the deep
+    queues phase A punishes.  A static knob must pick one phase to
+    lose; the control plane sheds depth while phase A's stale telemetry
+    accumulates, then restores it on phase B's demand bursts.
+    """
+    nslices = 3
+    checksum = 0
+    for r in range(rounds):
+        # Regenerate the whole ring: every slice's every page gets a
+        # fresh generation, so anything queued beyond the current hot
+        # slice is doomed speculation.
+        for sl in range(nslices):
+            addr, _ = _skew_slice(sl, width)
+            for p in range(width):
+                g.write(addr + p * PAGE_SIZE, bytes([(sl + r + p) & 0xFF]) * 4)
+        hot = r % nslices
+        addr, size = _skew_slice(hot, width)
+        # Circuit-style serial visits (fork_i, join_i): every visit is
+        # a quantum boundary, so a depth lesson learned on one node's
+        # churn reprices the very next node's fork — the fastest the
+        # control loop can possibly react.
+        for i in range(nnodes):
+            ref = child_ref(16 + i, node=i)
+            g.kcharge(g.cost.fork_image_pages * g.cost.page_map)
+            g.put(ref, regs={"entry": _skew_worker,
+                             "args": (hot, width, work, r + i)},
+                  copy=(addr, size), snap=(addr, size), start=True)
+            checksum = (checksum + _join(g, ref)) & 0xFFFFFFFF
+    # Phase B: bulk-streaming matmult trees on the same cluster, whose
+    # one-shot streams reward exactly the depth phase A punished.
+    total = 0
+    for rep in range(3):
+        total = (total + matmult_tree(g, nnodes, n, seed + rep)) & 0xFFFFFFFF
+    return (checksum * 0x10001 + total) & 0xFFFFFFFF
+
+
+def matmult_skewed_main(n=192, rounds=8, width=8, work=30_000, seed=7):
+    def main(g, nnodes):
+        return matmult_skewed(g, nnodes, n, rounds, width, work, seed)
+
+    return main
+
+
+# ---------------------------------------------------------------------------
 # Runners
 # ---------------------------------------------------------------------------
 
 def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
                 ship_mode="delta", topology=None, placement=None,
                 prefetch_depth=None, compression=False, loss=None,
-                shard_workers=0):
+                control=None, shard_workers=0):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
@@ -194,6 +277,8 @@ def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
     and PAGE_BATCH wire compression; ``loss`` injects a deterministic
     fault schedule (drop rate, kwargs dict, or LossSchedule) with
     retransmission accounting — cost-only, never touching the value;
+    ``control`` attaches the deterministic adaptive control plane
+    ("adaptive", kwargs dict, or Controller — repro.cluster.control);
     ``shard_workers`` (>= 2) runs sibling subtrees in forked host
     processes at rendezvous points, bit-identical to the serial engine
     (DESIGN §7).
@@ -201,7 +286,7 @@ def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
     machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
                       ship_mode=ship_mode, topology=topology,
                       placement=placement, prefetch_depth=prefetch_depth,
-                      compression=compression, loss=loss,
+                      compression=compression, loss=loss, control=control,
                       shard_workers=shard_workers)
 
     def main(g):

@@ -44,6 +44,7 @@ owns *how* it crosses and what that costs:
 
 from repro.cluster.network import NetworkStats
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+from repro.cluster.control import Controller, resolve_control
 from repro.cluster.faults import LossSchedule, RetxBill, resolve_loss
 from repro.cluster.placement import (
     LocalityAwarePlacement,
@@ -63,12 +64,14 @@ from repro.cluster.transport import (
     LinkStats,
     MsgType,
     PrefetchExchange,
+    TelemetryWindow,
     Transport,
 )
 
 __all__ = [
     "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
     "LossSchedule", "RetxBill", "resolve_loss",
+    "Controller", "resolve_control", "TelemetryWindow",
     "Transport", "MsgType", "LinkStats", "PrefetchExchange",
     "Topology", "FlatTopology", "TwoTierTopology", "FatTreeTopology",
     "LinkClass", "resolve_topology",

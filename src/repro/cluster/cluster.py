@@ -39,7 +39,7 @@ class Cluster:
     def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
                  dirty_tracking=True, ship_mode="delta", topology=None,
                  placement=None, prefetch_depth=None, compression=False,
-                 loss=None, shard_workers=0):
+                 loss=None, control=None, shard_workers=0):
         self.nnodes = nnodes
         self.cpus_per_node = cpus_per_node
         self.cost = cost
@@ -66,6 +66,10 @@ class Cluster:
         #: :mod:`repro.cluster.faults`.  Retransmission timing comes
         #: from the cost model (``retx_timeout``/``retx_limit``).
         self.loss = loss
+        #: Deterministic adaptive control plane (None = static knobs;
+        #: "adaptive", a Controller kwargs dict, or a Controller) — see
+        #: :mod:`repro.cluster.control`.
+        self.control = control
         #: Sharded host execution: fork up to this many host processes
         #: at eligible rendezvous barriers and run sibling subtrees
         #: concurrently, bit-identically (repro.kernel.shard).  0 or 1
@@ -80,7 +84,8 @@ class Cluster:
             dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
             topology=self.topology, placement=self.placement,
             prefetch_depth=self.prefetch_depth, compression=self.compression,
-            loss=self.loss, shard_workers=self.shard_workers,
+            loss=self.loss, control=self.control,
+            shard_workers=self.shard_workers,
         )
         with machine:
             result = machine.run(entry, args)
@@ -97,7 +102,7 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                 check_value=True, tcp_mode=False, dirty_tracking=True,
                 ship_mode="delta", topology=None, placement=None,
                 prefetch_depth=None, compression=False, loss=None,
-                shard_workers=0):
+                control=None, shard_workers=0):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
@@ -122,7 +127,7 @@ def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
                           topology=topology, placement=placement,
                           prefetch_depth=prefetch_depth,
                           compression=compression, loss=loss,
-                          shard_workers=shard_workers)
+                          control=control, shard_workers=shard_workers)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

@@ -198,6 +198,21 @@ class NetworkStats:
             f"{total['dup_msgs']:>5} {total['reorder_msgs']:>8}")
         return "\n".join(lines)
 
+    def window(self):
+        """Snapshot-and-reset the transport's current telemetry window.
+
+        Returns the :class:`~repro.cluster.transport.TelemetryWindow`
+        accumulated since the last snapshot (per-node stall/prefetch
+        counters, per-route delivery samples, per-pair bytes, fault
+        deltas) and opens a fresh one — the exact read-and-reset the
+        control plane performs at each decision pass, exposed for
+        operators and tests.  On a machine with a control plane attached
+        the controller consumes the windows itself; calling this
+        mid-run there would steal its telemetry, so prefer it on
+        ``control=None`` machines or after the run completes.
+        """
+        return self.machine.transport.take_window()
+
     def class_bytes(self, cls):
         """Total wire bytes sent over links of class ``cls`` (0 if the
         fabric has none) — e.g. ``class_bytes("core")`` is the

@@ -233,7 +233,9 @@ class PrefetchExchange:
     arrives together), at which point its link edges enter the trace.
     """
 
-    __slots__ = ("anchor", "usage", "latency", "frames", "origin", "retx")
+    __slots__ = ("anchor", "usage", "latency", "frames", "origin", "retx",
+                 "issuer_uid", "issue_charged", "wire_time", "window",
+                 "aged")
 
     def __init__(self, anchor, usage, latency, frames, origin, retx=None):
         #: Trace segment (id) of the issue point (the segment closed
@@ -256,6 +258,90 @@ class PrefetchExchange:
         #: as ``kind="retx"`` edges when the exchange is redeemed or
         #: flushed; None on a lossless fabric.
         self.retx = retx
+        #: Issue-time telemetry for the control plane's late-redeem
+        #: estimator: the issuing space, its program clock
+        #: (``Trace.charged``) at issue, the exchange's modelled wire
+        #: time (serialization + transit + retx waits), and the
+        #: telemetry window index it was issued in.
+        self.issuer_uid = None
+        self.issue_charged = 0
+        self.wire_time = 0
+        self.window = 0
+        #: Whether the window sweep already counted this exchange's
+        #: still-queued frames as aged speculation (counted once).
+        self.aged = False
+
+
+#: Per-node telemetry counters tracked inside one window (the keys of
+#: every node dict a :class:`TelemetryWindow` carries).
+NODE_WINDOW_KEYS = ("pulled", "prefetch_issued", "prefetch_used",
+                    "prefetch_stale", "prefetch_aged", "prefetch_refresh",
+                    "late_redeems", "late_cycles")
+
+#: Route-latency samples kept per window (first come first kept — a
+#: deterministic cap, so an unattended window can never grow unbounded).
+ROUTE_SAMPLE_CAP = 512
+
+
+class TelemetryWindow:
+    """Read-only snapshot of one telemetry window (``Transport.
+    take_window``): everything the transport observed since the last
+    snapshot, reset on take.
+
+    All content is a pure function of the simulated execution, so two
+    same-seed runs produce bit-identical window sequences — which is
+    what makes controller decisions replay-exact.
+    """
+
+    __slots__ = ("index", "nodes", "route_samples", "pair_bytes",
+                 "drops", "retx_msgs", "retx_wait", "messages")
+
+    def __init__(self, index, nodes, route_samples, pair_bytes,
+                 drops, retx_msgs, retx_wait, messages):
+        #: Monotone window serial (0-based).
+        self.index = index
+        #: node -> dict of :data:`NODE_WINDOW_KEYS` counters: demand
+        #: pulls, prefetch issue/hit/stale splits, aged in-flight
+        #: frames, and the late-redeem count/estimated stall cycles.
+        self.nodes = nodes
+        #: ``{(a, b): [delivery-cycles sample, ...]}`` per unordered
+        #: node pair — modelled per-message delivery latency of each
+        #: clean page exchange on the route (Karn's rule: exchanges
+        #: that retransmitted contribute no sample).
+        self.route_samples = route_samples
+        #: ``{(src, dst): bytes}`` logical message bytes per directed
+        #: node pair (counted once per message, not per hop).
+        self.pair_bytes = pair_bytes
+        #: Fault-path deltas over the window.
+        self.drops = drops
+        self.retx_msgs = retx_msgs
+        self.retx_wait = retx_wait
+        #: Logical messages sent during the window.
+        self.messages = messages
+
+    def node(self, node):
+        """Counters of ``node`` (zeros when it saw no traffic)."""
+        return self.nodes.get(node) or dict.fromkeys(NODE_WINDOW_KEYS, 0)
+
+    def table(self):
+        """Aligned per-node rows of the window's counters."""
+        if not self.nodes:
+            return f"(window {self.index}: no telemetry)"
+        lines = [f"{'node':>5} {'pulled':>7} {'pf-iss':>7} {'pf-used':>8} "
+                 f"{'stale':>6} {'aged':>5} {'churn':>6} {'late':>5} "
+                 f"{'late cycles':>12}"]
+        for node in sorted(self.nodes):
+            row = self.nodes[node]
+            lines.append(
+                f"{node:>5} {row['pulled']:>7} {row['prefetch_issued']:>7} "
+                f"{row['prefetch_used']:>8} {row['prefetch_stale']:>6} "
+                f"{row['prefetch_aged']:>5} {row['prefetch_refresh']:>6} "
+                f"{row['late_redeems']:>5} {row['late_cycles']:>12,}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"<TelemetryWindow {self.index} nodes={len(self.nodes)} "
+                f"msgs={self.messages} drops={self.drops}>")
 
 
 class Transport:
@@ -319,12 +405,32 @@ class Transport:
         self.dups = 0
         self.reorders = 0
         self.retx_wait = 0
-        #: node -> {frame serial: (generation, PrefetchExchange)} — that
-        #: node's async fetch queue of in-flight predicted frames.
+        #: node -> {frame serial: (generation, PrefetchExchange, frame)}
+        #: — that node's async fetch queue of in-flight predicted
+        #: frames, keyed by the generation current at issue time.
         self.inflight = {}
+        #: Monotone counter naming the sink segments of undemanded
+        #: exchanges (purged mid-run or flushed at end of run).
+        self._sinks = 0
         #: Encoded wire size per frame content tag (content never
         #: changes under a tag, so sizes are computed once).
         self._wire_sizes = {}
+        # -- telemetry window (snapshot/reset by take_window) ------------
+        #: Monotone window serial: how many windows have been taken.
+        self.window_index = 0
+        #: node -> per-window counter dict (NODE_WINDOW_KEYS).
+        self.win_nodes = {}
+        #: unordered (a, b) node pair -> delivery-latency samples of the
+        #: window's clean page exchanges (capped at ROUTE_SAMPLE_CAP).
+        self.win_route_samples = {}
+        #: directed (src, dst) node pair -> logical message bytes.
+        self.win_pair_bytes = {}
+        # Cumulative-counter marks of the running window's start, so the
+        # fault-path deltas come free of extra hot-path work.
+        self._win_drops0 = 0
+        self._win_retx0 = 0
+        self._win_wait0 = 0
+        self._win_msgs0 = 0
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -354,6 +460,80 @@ class Transport:
     def prefetch_unused(self):
         """Prefetched pages no space ever demanded (stale included)."""
         return self.pages_prefetched - self.prefetch_used
+
+    # -- telemetry windows -------------------------------------------------
+
+    def _wnode(self, node):
+        """The running window's counter dict of ``node``."""
+        counters = self.win_nodes.get(node)
+        if counters is None:
+            counters = self.win_nodes[node] = dict.fromkeys(
+                NODE_WINDOW_KEYS, 0)
+        return counters
+
+    def _note_route_sample(self, src, dst, usage, nmsgs, bill,
+                           npages=1):
+        """Record one delivery-latency sample for the ``src``/``dst``
+        route: route transit plus the exchange's mean per-message
+        serialization.  Two Karn-style filters keep the estimator
+        honest about what the retransmit timer actually guards:
+        exchanges that hit the fault path contribute nothing (a
+        retransmitted exchange's latency says more about the timeout
+        than about the route), and so do multi-page batch exchanges —
+        a batch's drain time measures the sender's throughput, while
+        the timer waits on the route's *turnaround* for one copy, which
+        only minimal (single-data-message) exchanges exhibit."""
+        if bill is not None and (bill.usage or bill.wait):
+            return
+        if npages > 1:
+            return
+        pair = (src, dst) if src <= dst else (dst, src)
+        samples = self.win_route_samples.setdefault(pair, [])
+        if len(samples) >= ROUTE_SAMPLE_CAP:
+            return
+        machine = self.machine
+        transit = machine.topology.route_latency(machine.cost, src, dst)
+        busy = sum(usage.values()) if usage else 0
+        samples.append(transit + busy // max(1, nmsgs))
+
+    def take_window(self):
+        """Snapshot-and-reset the running telemetry window.
+
+        Returns a :class:`TelemetryWindow` of everything observed since
+        the previous call (or the start of the run) and opens the next
+        window.  Before snapshotting, still-queued prefetched frames
+        issued two or more windows ago are counted (once per exchange)
+        as ``prefetch_aged`` — in-flight speculation the run is visibly
+        not consuming, the shrink signal that needs no end-of-run
+        flush.
+        """
+        index = self.window_index
+        for node in sorted(self.inflight):
+            queue = self.inflight[node]
+            for _, exchange, _ in queue.values():
+                if exchange.aged or exchange.window > index - 2:
+                    continue
+                exchange.aged = True
+                queued = sum(1 for _, ex, _ in queue.values()
+                             if ex is exchange)
+                self._wnode(node)["prefetch_aged"] += queued
+        window = TelemetryWindow(
+            index, self.win_nodes, self.win_route_samples,
+            self.win_pair_bytes,
+            drops=self.drops - self._win_drops0,
+            retx_msgs=self.retx_msgs - self._win_retx0,
+            retx_wait=self.retx_wait - self._win_wait0,
+            messages=self.messages - self._win_msgs0,
+        )
+        self.window_index = index + 1
+        self.win_nodes = {}
+        self.win_route_samples = {}
+        self.win_pair_bytes = {}
+        self._win_drops0 = self.drops
+        self._win_retx0 = self.retx_msgs
+        self._win_wait0 = self.retx_wait
+        self._win_msgs0 = self.messages
+        return window
 
     def _send(self, mtype, src, dst, nbytes, pages=0, usage=None,
               raw_payload=0, comp_payload=0, faults=None):
@@ -390,6 +570,12 @@ class Transport:
         serial = self.msg_serial
         self.msg_serial += 1
         self.messages += 1
+        self.win_pair_bytes[(src, dst)] = \
+            self.win_pair_bytes.get((src, dst), 0) + nbytes
+        # The retransmit timer is per logical message: the (possibly
+        # control-tuned) timeout of the message's route, resolved once
+        # so every hop copy of this message waits the same timer.
+        timeout = machine.retx_timeout_for(src, dst) if loss else 0
         for link in topo.route(src, dst):
             cls = topo.link_class(link)
             busy = cost.link_message(nbytes, byte_factor=cls.byte_factor,
@@ -436,8 +622,8 @@ class Transport:
                             f"all {cost.retx_limit} retransmissions "
                             f"dropped")
                     if faults is not None:
-                        faults.wait += cost.retx_timeout
-                        self.retx_wait += cost.retx_timeout
+                        faults.wait += timeout
+                        self.retx_wait += timeout
                     continue
                 if outcome is DUPLICATE:
                     # The link layer serialized a second copy; it
@@ -540,6 +726,17 @@ class Transport:
         self._send(MsgType.ACK, node, origin, cost.msg_ctrl)
         self._receive(node, origin, 2 * cost.msg_ctrl + 8 * npages)
         self._receive(origin, node, payload + npages * cost.page_hdr)
+        # One delivery-latency sample per clean exchange (telemetry for
+        # the control plane's SRTT estimator).  The request and response
+        # usage dicts may alias (the prefetch path passes one dict);
+        # merge without double counting.
+        usage = dict(req_usage or ())
+        if resp_usage is not None and resp_usage is not req_usage:
+            for link, busy in resp_usage.items():
+                usage[link] = usage.get(link, 0) + busy
+        nmsgs = 1 + len(self._batch_sizes(npages))
+        self._note_route_sample(origin, node, usage, nmsgs, faults,
+                                npages=npages)
         return payload, codec
 
     # -- protocol exchanges ------------------------------------------------
@@ -572,6 +769,9 @@ class Transport:
         self._receive(src, dst, cost.migrate_bytes
                       + payload + len(shipped) * cost.page_hdr)
         self._receive(dst, src, cost.msg_ctrl)
+        self._note_route_sample(src, dst, usage,
+                                1 + len(self._batch_sizes(len(shipped))),
+                                bill, npages=len(shipped))
         trace = machine.trace
         if trace.is_open(space.uid):
             closed, opened = trace.move_node(space.uid, dst)
@@ -599,6 +799,7 @@ class Transport:
         npages = len(frames)
         self.pages_pulled += npages
         machine.pages_fetched += npages
+        self._wnode(node)["pulled"] += npages
         req_usage = {}
         resp_usage = {}
         bill = RetxBill() if machine.loss else None
@@ -638,6 +839,7 @@ class Transport:
             return
         self.pages_prefetched += npages
         machine.pages_fetched += npages
+        self._wnode(node)["prefetch_issued"] += npages
         usage = {}
         bill = RetxBill() if machine.loss else None
         _, codec = self._page_exchange(origin, node, frames,
@@ -652,9 +854,43 @@ class Transport:
             anchor, usage, latency,
             [(frame, frame.generation) for frame in frames], origin,
             retx=bill)
+        exchange.issuer_uid = space.uid
+        exchange.issue_charged = trace.charged(space.uid)
+        exchange.wire_time = (sum(usage.values()) + latency
+                              + (bill.wait if bill else 0))
+        exchange.window = self.window_index
         queue = self.inflight.setdefault(node, {})
         for frame in frames:
-            queue[frame.serial] = (frame.generation, exchange)
+            queue[frame.serial] = (frame.generation, exchange, frame)
+
+    def purge_superseded(self, node):
+        """Drop ``node``'s queued entries whose frame was rewritten
+        since they were issued; returns how many were dropped.
+
+        The predictor runs this before refilling the queue: a queued
+        entry at a superseded generation is already wasted wire — a
+        future demand on it is a guaranteed stale miss — so it is
+        dropped (and counted stale) now, freeing its queue slot for the
+        fresh content the predictor is about to re-issue.  Hot pages
+        rewritten faster than anyone reads them thus charge deep queues
+        *every* rewrite — the recurring-waste signal the control
+        plane's shrink rule keys on.  An exchange whose last queued
+        frame is purged was never demanded, so its wire contention
+        enters the trace through a sink segment here, exactly as
+        :meth:`flush_inflight` does at end of run.
+        """
+        queue = self.inflight.get(node)
+        if not queue:
+            return 0
+        doomed = [serial for serial, (held, _, frame) in queue.items()
+                  if frame.generation != held]
+        for serial in doomed:
+            _, exchange, _ = queue.pop(serial)
+            self.prefetch_stale += 1
+            self._wnode(node)["prefetch_stale"] += 1
+            if not any(entry[1] is exchange for entry in queue.values()):
+                self._sink_exchange(exchange, node, "prefetch-stale")
+        return len(doomed)
 
     def take_inflight(self, node, serial, generation):
         """Claim an in-flight prefetched frame for a demand on it.
@@ -668,11 +904,13 @@ class Transport:
         queue = self.inflight.get(node)
         if not queue or serial not in queue:
             return None
-        held_generation, exchange = queue.pop(serial)
+        held_generation, exchange, _ = queue.pop(serial)
         if held_generation != generation:
             self.prefetch_stale += 1
+            self._wnode(node)["prefetch_stale"] += 1
             return None
         self.prefetch_used += 1
+        self._wnode(node)["prefetch_used"] += 1
         return exchange
 
     def redeem_exchanges(self, space, node, exchanges):
@@ -691,10 +929,27 @@ class Transport:
         trace = machine.trace
         cache = machine.node_cache[node]
         queue = self.inflight.get(node, {})
+        counters = self._wnode(node)
         opened = None
         if trace.is_open(space.uid):
             _, opened = trace.cut(space.uid, label="prefetch-wait")
         for exchange in exchanges:
+            # Late-redeem estimator: compare the exchange's modelled
+            # wire time against the program clock that elapsed between
+            # issue and demand (the demander's when it is the issuer,
+            # the issuer's otherwise).  Wire time the compute did not
+            # cover is the stall the schedule will charge — the signal
+            # to run the queue deeper.
+            clock_uid = (space.uid if space.uid == exchange.issuer_uid
+                         else exchange.issuer_uid)
+            elapsed = 0
+            if clock_uid is not None:
+                elapsed = max(0, trace.charged(clock_uid)
+                              - exchange.issue_charged)
+            late = exchange.wire_time - elapsed
+            if late > 0:
+                counters["late_redeems"] += 1
+                counters["late_cycles"] += late
             for frame, generation in exchange.frames:
                 # Only tags still queued land here: the tag that
                 # triggered the redeem was claimed (and counted used)
@@ -709,8 +964,10 @@ class Transport:
                     # must not enter the cache (a demand on the fresh
                     # tag will fetch it properly).
                     self.prefetch_stale += 1
+                    counters["prefetch_stale"] += 1
                     continue
                 self.prefetch_used += 1
+                counters["prefetch_used"] += 1
                 if cache.get(frame.serial, -1) < generation:
                     cache[frame.serial] = generation
             if opened is not None and exchange.anchor is not None:
@@ -736,25 +993,35 @@ class Transport:
         the machine once the run drains; queues are cleared, so a
         second call is a no-op.
         """
-        trace = self.machine.trace
         flushed = set()
         for node in sorted(self.inflight):
             queue = self.inflight[node]
-            for _, exchange in queue.values():
-                if id(exchange) in flushed or exchange.anchor is None:
+            for _, exchange, _ in queue.values():
+                if id(exchange) in flushed:
                     continue
                 flushed.add(id(exchange))
-                sink = trace.begin(f"~{kind}{len(flushed)}@{node}",
-                                   node=node, label=kind)
-                trace.end(sink.uid)
-                self._stall_edges(exchange.anchor, sink, exchange.usage,
-                                  latency=exchange.latency, kind=kind)
-                if exchange.retx:
-                    self._stall_edges(exchange.anchor, sink,
-                                      exchange.retx.usage,
-                                      latency=exchange.retx.wait,
-                                      kind="retx")
+                self._sink_exchange(exchange, node, kind)
             queue.clear()
+
+    def _sink_exchange(self, exchange, node, kind):
+        """Emit an undemanded exchange's link edges into a fresh
+        zero-cycle sink segment at ``node`` (no space waits on it), so
+        ``schedule()`` still makes its wire traffic contend with real
+        transfers; the residue reports under ``kind``."""
+        if exchange.anchor is None:
+            return
+        trace = self.machine.trace
+        self._sinks += 1
+        sink = trace.begin(f"~{kind}{self._sinks}@{node}",
+                           node=node, label=kind)
+        trace.end(sink.uid)
+        self._stall_edges(exchange.anchor, sink, exchange.usage,
+                          latency=exchange.latency, kind=kind)
+        if exchange.retx:
+            self._stall_edges(exchange.anchor, sink,
+                              exchange.retx.usage,
+                              latency=exchange.retx.wait,
+                              kind="retx")
 
     # -- invariants --------------------------------------------------------
 

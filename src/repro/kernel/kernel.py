@@ -136,6 +136,12 @@ class Kernel:
         last = trace.last_closed(child.uid)
         if last is not None:
             trace.edge(last, opened)
+        # Quantum boundary: the control plane (if any) takes one decision
+        # pass here, on the just-cut telemetry, so its knob deltas apply
+        # from the next quantum on (repro.cluster.control).
+        control = self.machine.control
+        if control is not None:
+            control.on_quantum(self.machine, caller)
 
     def migrate(self, space, target_node):
         """Move a space's execution to another node (paper §3.3).
@@ -229,10 +235,15 @@ class Kernel:
         segment).
         """
         machine = self.machine
-        depth = machine.prefetch_depth
+        depth = machine.prefetch_depth_for(node)
         if depth <= 0 or machine.nnodes <= 1:
             return
         transport = machine.transport
+        # Entries rewritten since they were issued are dead weight:
+        # drop them (counted stale) before sizing the refill, so hot
+        # pages churning under speculation re-pay their wire every
+        # rewrite instead of squatting in the queue forever.
+        transport.purge_superseded(node)
         budget = depth - transport.queue_len(node)
         if budget <= 0:
             return
@@ -249,7 +260,8 @@ class Kernel:
             if frame is None or frame.serial in seen:
                 return 0
             seen.add(frame.serial)
-            if cache.get(frame.serial) == frame.generation:
+            cached = cache.get(frame.serial)
+            if cached == frame.generation:
                 return 0
             if frame.serial in queue:
                 return 0
@@ -257,6 +269,13 @@ class Kernel:
             if origin == node:
                 return 0
             by_origin.setdefault(origin, []).append(frame)
+            if cached is not None:
+                # Re-speculating on a page this node already fetched
+                # once: its producer rewrote it since.  Recurring
+                # refreshes are the churn signal the control plane's
+                # collapse rule keys on — pages rewritten every round
+                # make any depth's speculation a running wire tax.
+                transport._wnode(node)["prefetch_refresh"] += 1
             return 1
 
         for vpn in vpn_stream:
@@ -345,11 +364,12 @@ class Kernel:
             transport.redeem_exchanges(space, node, redeems)
         for origin in sorted(fetch_by_origin):
             transport.fetch(space, origin, node, fetch_by_origin[origin])
-        if fetch_by_origin and not write and machine.prefetch_depth > 0:
+        depth = machine.prefetch_depth_for(node)
+        if fetch_by_origin and not write and depth > 0:
             self._issue_prefetch(space, node,
                                  aspace.mapped_vpns_in(
                                      vpn1 + 1,
-                                     vpn1 + 1 + 4 * machine.prefetch_depth),
+                                     vpn1 + 1 + 4 * depth),
                                  hint_origins=sorted(fetch_by_origin))
 
     def _copy_subtree(self, caller, src_space, new_parent):

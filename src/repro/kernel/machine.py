@@ -87,6 +87,7 @@ class Machine:
         prefetch_depth=None,
         compression=False,
         loss=None,
+        control=None,
         shard_workers=0,
     ):
         #: Cost model used for all virtual-time charging.
@@ -164,6 +165,7 @@ class Machine:
         self.pages_fetched = 0
         # Imported lazily: the cluster package's public modules import
         # Machine, so a module-level import here would cycle.
+        from repro.cluster.control import resolve_control
         from repro.cluster.faults import resolve_loss
         from repro.cluster.placement import resolve_placement
         from repro.cluster.topology import resolve_topology
@@ -187,6 +189,15 @@ class Machine:
         self.node_map = {}
         #: Message-level interconnect all cross-node paths route through.
         self.transport = Transport(self)
+        #: Deterministic adaptive control plane: None (static knobs, the
+        #: default — byte-identical to the pre-control transport),
+        #: "adaptive", a Controller kwargs dict, or a Controller.  The
+        #: kernel invokes it at quantum boundaries; it tunes per-node
+        #: prefetch depth, per-route retransmit timeouts, and placement
+        #: from the transport's telemetry windows (repro.cluster.control).
+        self.control = resolve_control(control)
+        if self.control is not None:
+            self.control.reset(self)
         #: Sharded host execution (repro.kernel.shard): at a rendezvous
         #: with >= 2 never-run READY siblings, fork up to this many
         #: host processes and run the sibling subtrees concurrently,
@@ -221,6 +232,27 @@ class Machine:
         hints.extend(vpns)
         if len(hints) > self.DIRTY_HINT_CAP:
             del hints[:len(hints) - self.DIRTY_HINT_CAP]
+
+    # -- adaptive knob reads -------------------------------------------------
+
+    def prefetch_depth_for(self, node):
+        """Effective prefetch-queue depth of ``node``: the controller's
+        adaptive per-node depth when a control plane is attached, else
+        the static ``prefetch_depth`` knob."""
+        if self.control is not None:
+            return self.control.depth_for(node)
+        return self.prefetch_depth
+
+    def retx_timeout_for(self, src, dst):
+        """Effective retransmit timeout of the ``src``/``dst`` route:
+        the controller's SRTT-derived per-route timer when a control
+        plane is attached (falling back to the static knob before the
+        route's first clean sample), else ``cost.retx_timeout``."""
+        if self.control is not None:
+            timeout = self.control.timeout_for(src, dst)
+            if timeout is not None:
+                return timeout
+        return self.cost.retx_timeout
 
     # -- placement ----------------------------------------------------------
 

@@ -154,6 +154,7 @@ class ShardCoordinator:
             and machine.loss is None
             and machine.ship_mode in ("delta", "full")
             and machine.prefetch_depth == 0
+            and machine.control is None
             and machine.placement.name in _REPLAYABLE_PLACEMENTS
         )
 

@@ -134,6 +134,13 @@ class CostModel:
     #: Maximum retransmissions per hop copy before the transport
     #: declares the link dead and raises NetworkLossError.
     retx_limit: int = 8
+    #: Cycles one control-plane decision pass costs the deciding space
+    #: (``Machine(control=...)``): the controller reads the telemetry
+    #: window and updates its knobs at a quantum boundary.  Default 0 —
+    #: the controller is modelled as running beside the kernel on the
+    #: management plane, off the guest's critical path; raise it to
+    #: charge decisions to the rendezvousing space instead.
+    ctrl_decide: int = 0
 
     # ---- Misc -----------------------------------------------------------
     extras: dict = field(default_factory=dict)

@@ -47,8 +47,17 @@ class Trace:
         #: :meth:`link_edge`.  Kept separate from :attr:`edges` so plain
         #: consumers keep their 3-tuple shape.
         self.transfers = []
+        #: list of (segment_id, node, policy, knob, old, new) — control-
+        #: plane decision records, anchored at the deciding segment (the
+        #: caller's rendezvous segment).  Annotations only: decisions act
+        #: on the run through ordinary segments/edges (knob changes,
+        #: migrations, timeout waits), so both schedule engines replay
+        #: their *consequences* without reading this list.  Kept on the
+        #: trace so a replayed trace carries its decision history.
+        self.decisions = []
         self._open = {}   # uid -> Segment
         self._last = {}   # uid -> last closed Segment
+        self._cum = {}    # uid -> cycles of all *closed* segments
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -73,6 +82,7 @@ class Trace:
         closed = self._open.pop(uid)
         closed.closed = True
         self._last[uid] = closed
+        self._cum[uid] = self._cum.get(uid, 0) + closed.cycles
         opened = Segment(len(self.segments), uid, closed.node, label)
         self.segments.append(opened)
         self._open[uid] = opened
@@ -84,6 +94,7 @@ class Trace:
         closed = self._open.pop(uid)
         closed.closed = True
         self._last[uid] = closed
+        self._cum[uid] = self._cum.get(uid, 0) + closed.cycles
         return closed
 
     # -- queries -------------------------------------------------------------
@@ -99,6 +110,24 @@ class Trace:
     def last_closed(self, uid):
         """Most recently closed segment of ``uid`` (or None)."""
         return self._last.get(uid)
+
+    def charged(self, uid):
+        """Total cycles charged to ``uid`` so far (closed segments plus
+        the open one) — the per-context *program clock* the control
+        plane reads to estimate how much compute separated two simulated
+        events.  A pure function of the simulation, so replays agree."""
+        total = self._cum.get(uid, 0)
+        open_seg = self._open.get(uid)
+        if open_seg is not None:
+            total += open_seg.cycles
+        return total
+
+    def decision(self, seg, node, policy, knob, old, new):
+        """Record one control-plane decision anchored at segment ``seg``."""
+        seg_id = seg.id if isinstance(seg, Segment) else seg
+        record = (seg_id, node, policy, knob, old, new)
+        self.decisions.append(record)
+        return record
 
     def move_node(self, uid, node):
         """Record that ``uid`` now executes on ``node`` (space migration).
