@@ -33,6 +33,7 @@ baseline.
 
 from conftest import dump_json
 
+from repro import ClusterSpec
 from repro.bench import cluster_workloads as cw
 from repro.timing.schedule import schedule
 
@@ -40,6 +41,8 @@ NODES = 4
 TOPOLOGY = "two_tier:2"
 DEPTHS = (0, 1, 4, 16, 32)
 LOSS = 0.05  # default deterministic drop schedule
+
+BASE = ClusterSpec(topology=TOPOLOGY, ship_mode="demand")
 
 #: name -> (workload builder, loss schedule, strict-win required)
 SWEEPS = {
@@ -51,9 +54,8 @@ SWEEPS = {
 
 
 def _run(workload, loss, **config):
-    makespan, machine, value = cw.run_cluster(
-        workload(), NODES, topology=TOPOLOGY, ship_mode="demand",
-        loss=loss, **config)
+    spec = BASE.with_(loss=loss, **config)
+    makespan, machine, value = cw.run_cluster(workload(), NODES, spec=spec)
     return makespan, machine, value
 
 

@@ -18,15 +18,17 @@ under every configuration.
 
 from conftest import dump_json
 
+from repro import ClusterSpec
 from repro.bench import cluster_workloads as cw
 from repro.timing.model import CostModel
 
 NODES = 4
 
 MODES = [
-    ("full-ship", {"ship_mode": "full", "cost": CostModel(msg_batch=1)}),
-    ("delta-ship", {"ship_mode": "delta", "cost": CostModel(msg_batch=1)}),
-    ("delta+batch", {"ship_mode": "delta"}),
+    ("full-ship", ClusterSpec(ship_mode="full", cost=CostModel(msg_batch=1))),
+    ("delta-ship", ClusterSpec(ship_mode="delta",
+                               cost=CostModel(msg_batch=1))),
+    ("delta+batch", ClusterSpec(ship_mode="delta")),
 ]
 
 CASES = [
@@ -36,8 +38,8 @@ CASES = [
 ]
 
 
-def _run_case(build, config):
-    makespan, machine, value = cw.run_cluster(build(), NODES, **config)
+def _run_case(build, spec):
+    makespan, machine, value = cw.run_cluster(build(), NODES, spec=spec)
     t = machine.transport
     return {
         "value": value,
@@ -52,8 +54,8 @@ def _run_case(build, config):
 def test_ablation_delta_ship(once):
     def run_all():
         return {
-            name: {mode: _run_case(build, config)
-                   for mode, config in MODES}
+            name: {mode: _run_case(build, spec)
+                   for mode, spec in MODES}
             for name, build in CASES
         }
 
@@ -99,13 +101,12 @@ def test_sweep_invariant_under_all_modes(once):
 
     def sweep_all():
         out = {}
-        for mode, config in MODES:
+        for mode, spec in MODES:
             series = sweep_nodes(
                 lambda n: (lambda g: cw.md5_tree(
                     g, n, *cw._md5_params(3))),
                 node_counts=(1, 2, 4),
-                ship_mode=config.get("ship_mode", "delta"),
-                cost=config.get("cost"),
+                spec=spec,
             )
             out[mode] = {n: result.value for n, (_, result) in series.items()}
         return out

@@ -28,6 +28,7 @@ against the committed ``benchmarks/BENCH_faults.json`` baseline.
 
 from conftest import dump_json
 
+from repro import ClusterSpec
 from repro.bench import cluster_workloads as cw
 from repro.cluster import NetworkStats
 from repro.timing.schedule import schedule
@@ -38,18 +39,18 @@ TOPOLOGY = "two_tier:2"
 SEED = 2010
 
 RATES = [("loss-0", None), ("loss-1%", 0.01), ("loss-5%", 0.05)]
+BASE = ClusterSpec(topology=TOPOLOGY)
 CONFIGS = [
-    ("eager-delta", {}),
-    ("demand+pf+comp", {"ship_mode": "demand", "prefetch_depth": 32,
-                        "compression": True}),
+    ("eager-delta", BASE),
+    ("demand+pf+comp", BASE.with_(ship_mode="demand", prefetch_depth=32,
+                                  compression=True)),
 ]
 
 
-def _run_cell(config, rate):
+def _run_cell(spec, rate):
     loss = None if rate is None else {"drop": rate, "seed": SEED}
     makespan, machine, value = cw.run_cluster(
-        cw.matmult_tree_main(N), NODES, topology=TOPOLOGY, loss=loss,
-        **config)
+        cw.matmult_tree_main(N), NODES, spec=spec.with_(loss=loss))
     stalls = schedule(machine.trace,
                       cpus_per_node={node: 1 for node in range(NODES)}
                       ).stall_cycles
@@ -72,8 +73,8 @@ def _run_cell(config, rate):
 
 def test_ablation_faults(once):
     def run_all():
-        return {f"{config_name}/{rate_name}": _run_cell(config, rate)
-                for config_name, config in CONFIGS
+        return {f"{config_name}/{rate_name}": _run_cell(spec, rate)
+                for config_name, spec in CONFIGS
                 for rate_name, rate in RATES}
 
     results = once(run_all)

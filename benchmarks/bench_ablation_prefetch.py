@@ -29,6 +29,7 @@ demand-stall cycles, wire bytes, and makespan against the committed
 
 from conftest import dump_json
 
+from repro import ClusterSpec
 from repro.bench import cluster_workloads as cw
 from repro.cluster import NetworkStats
 from repro.timing.schedule import schedule
@@ -38,19 +39,20 @@ NODES = 4
 TOPOLOGY = "two_tier:2"
 DEPTH = 32
 
+BASE = ClusterSpec(topology=TOPOLOGY)
 CELLS = [
-    ("eager-delta", {}),
-    ("stopwait", {"ship_mode": "demand"}),
-    ("stopwait+comp", {"ship_mode": "demand", "compression": True}),
-    ("pipelined", {"ship_mode": "demand", "prefetch_depth": DEPTH}),
-    ("pipelined+comp", {"ship_mode": "demand", "prefetch_depth": DEPTH,
-                        "compression": True}),
+    ("eager-delta", BASE),
+    ("stopwait", BASE.with_(ship_mode="demand")),
+    ("stopwait+comp", BASE.with_(ship_mode="demand", compression=True)),
+    ("pipelined", BASE.with_(ship_mode="demand", prefetch_depth=DEPTH)),
+    ("pipelined+comp", BASE.with_(ship_mode="demand", prefetch_depth=DEPTH,
+                                  compression=True)),
 ]
 
 
-def _run_cell(config):
+def _run_cell(spec):
     makespan, machine, value = cw.run_cluster(
-        cw.matmult_tree_main(N), NODES, topology=TOPOLOGY, **config)
+        cw.matmult_tree_main(N), NODES, spec=spec)
     sched = schedule(machine.trace,
                      cpus_per_node={node: 1 for node in range(NODES)})
     stalls = sched.stall_cycles
@@ -76,7 +78,7 @@ def _run_cell(config):
 
 def test_ablation_prefetch(once):
     def run_all():
-        return {name: _run_cell(config) for name, config in CELLS}
+        return {name: _run_cell(spec) for name, spec in CELLS}
 
     results = once(run_all)
     print()

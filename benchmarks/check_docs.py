@@ -35,6 +35,7 @@ SMOKE = {
     "PYTHONPATH=src python examples/distributed_md5.py":
         ["python", "examples/distributed_md5.py", "--smoke"],
     "PYTHONPATH=src python -m repro.bench fig4": None,
+    "PYTHONPATH=src python -m repro.bench serving": None,
     "python benchmarks/check_regression.py":
         ["python", "benchmarks/check_regression.py", "--help"],
     "python benchmarks/check_docs.py":

@@ -52,7 +52,14 @@ HERE = Path(__file__).resolve().parent
 #: regression) gate the control plane's payoff.
 GATED_KEYS = {"wire_bytes", "wire_cycles", "makespan", "pages", "hops",
               "demand_stall", "retx_bytes", "adaptive_stall_cycles",
-              "adaptive_vs_best_static_pct"}
+              "adaptive_vs_best_static_pct",
+              "p50_cycles", "p95_cycles", "p99_cycles"}
+
+#: Leaf keys gated downward at the *standard* tolerance (lower is a
+#: regression): virtual-time delivery-rate metrics — deterministic like
+#: every GATED_KEYS metric, unlike the noisier host-side
+#: THROUGHPUT_KEYS wall-clock measurements below.
+GOODPUT_KEYS = {"goodput"}
 
 #: Leaf keys gated the other way (lower is a regression): host-side
 #: throughput metrics from conftest.dump_json and the event-core
@@ -122,6 +129,19 @@ def compare(baseline, current, path, tolerance, failures, rows,
             failures.append(
                 f"{path}: {current:,} exceeds baseline {baseline:,} "
                 f"by {over} (> {tolerance:.0%})")
+        return
+    if leaf in GOODPUT_KEYS and isinstance(baseline, (int, float)):
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            failures.append(f"{path}: non-numeric {current!r}")
+            return
+        regressed = current < baseline - tolerance * abs(baseline)
+        rows.append((path, baseline, current, regressed))
+        if regressed:
+            under = (f"{current / baseline - 1:+.1%}" if baseline
+                     else f"{current:,}")
+            failures.append(
+                f"{path}: {current:,} fell below baseline {baseline:,} "
+                f"by {under} (> {tolerance:.0%})")
         return
     if leaf in THROUGHPUT_KEYS and isinstance(baseline, (int, float)):
         if not isinstance(current, (int, float)) or isinstance(current, bool):

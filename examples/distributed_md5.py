@@ -17,6 +17,7 @@ CI docs job can replay the quickstart in a couple of seconds.
 import argparse
 import hashlib
 
+from repro import ClusterSpec
 from repro.bench.cluster_workloads import md5_tree_main, run_cluster
 from repro.bench.workloads.md5 import ALPHABET, candidate
 from repro.cluster import NetworkStats
@@ -55,8 +56,10 @@ def main(smoke=False):
     # behind an oversubscribed core switch) with locality-aware
     # placement: the per-class table splits rack-local from cross-rack
     # traffic — the view that explains oversubscription bottlenecks.
-    _, machine, found = run_cluster(md5_tree_main(length), big,
-                                    topology=fabric, placement="locality")
+    # Every scenario below derives from this one spec: cross-cutting
+    # knobs live in a single validated ClusterSpec, not keyword soup.
+    spec = ClusterSpec(topology=fabric, placement="locality")
+    _, machine, found = run_cluster(md5_tree_main(length), big, spec=spec)
     assert found == target
     stats = NetworkStats(machine)
     print(f"\nsame run, two-tier fabric (racks of {rack}, locality "
@@ -68,10 +71,10 @@ def main(smoke=False):
     # touched, predicted-next frames stream in behind compute, and
     # mostly-zero payloads (like the digest page) barely touch the
     # wire.  Same answer, of course — both features are cost-only.
-    makespan, machine, found = run_cluster(
-        md5_tree_main(length), big, topology=fabric,
-        placement="locality", ship_mode="demand", prefetch_depth=16,
-        compression=True)
+    spec = spec.with_(ship_mode="demand", prefetch_depth=16,
+                      compression=True)
+    makespan, machine, found = run_cluster(md5_tree_main(length), big,
+                                           spec=spec)
     assert found == target
     stats = NetworkStats(machine)
     print("\nsame run, demand paging + prefetch(16) + compression:")
@@ -85,10 +88,9 @@ def main(smoke=False):
     # "retx" stall edges), and the retransmit ledger below replays
     # bit-identically on every rerun.  The answer still cannot change —
     # faults are cost-only under system-enforced determinism.
-    lossy_makespan, machine, found = run_cluster(
-        md5_tree_main(length), big, topology=fabric,
-        placement="locality", ship_mode="demand", prefetch_depth=16,
-        compression=True, loss={"drop": 0.02, "seed": 2010})
+    spec = spec.with_(loss={"drop": 0.02, "seed": 2010})
+    lossy_makespan, machine, found = run_cluster(md5_tree_main(length), big,
+                                                 spec=spec)
     assert found == target
     stats = NetworkStats(machine)
     print(f"\nsame run on a lossy fabric (2% deterministic drop): "
@@ -114,10 +116,9 @@ def main(smoke=False):
     # placement at quantum boundaries.  Decisions are a pure function
     # of simulated state, so the decision log replays bit-identically
     # — and the answer still cannot change.
-    adaptive_makespan, machine, found = run_cluster(
-        md5_tree_main(length), big, topology=fabric,
-        placement="locality", ship_mode="demand", compression=True,
-        loss={"drop": 0.02, "seed": 2010}, control="adaptive")
+    spec = spec.with_(prefetch_depth=None, control="adaptive")
+    adaptive_makespan, machine, found = run_cluster(md5_tree_main(length),
+                                                    big, spec=spec)
     assert found == target
     print(f"\nsame lossy run under adaptive control: "
           f"makespan {lossy_makespan:,} -> {adaptive_makespan:,}")

@@ -53,6 +53,9 @@ from repro.common.errors import (
     RuntimeApiError,
 )
 from repro.kernel import Machine, MachineResult, Trap, child_ref
+from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
+from repro.cluster.serving import ServingResult, serve_trace
+from repro.cluster.spec import ClusterSpec
 from repro.timing import CostModel
 
 __version__ = "1.0.0"
@@ -62,6 +65,12 @@ __all__ = [
     "MachineResult",
     "Trap",
     "child_ref",
+    "ClusterSpec",
+    "Cluster",
+    "ClusterResult",
+    "sweep_nodes",
+    "serve_trace",
+    "ServingResult",
     "CostModel",
     "ReproError",
     "KernelError",

@@ -31,8 +31,20 @@ def _fig4():
     return "\n".join(lines)
 
 
+def _serving():
+    result = figures.figure_serving()
+    cdf = figures.format_series(
+        "Serving: latency CDF (cycles at percentile, 4 nodes)",
+        result["cdf"], value_fmt="{:,}")
+    metrics = figures.format_series(
+        "Serving: summary metrics (cycles; goodput = req / Gcycle)",
+        result["metrics"], value_fmt="{:,}")
+    return cdf + "\n\n" + metrics
+
+
 ARTIFACTS = {
     "fig4": _fig4,
+    "serving": _serving,
     "fig7": lambda: figures.format_series(
         "Figure 7: Determinator relative to Linux (>1 = faster)",
         figures.figure7()),

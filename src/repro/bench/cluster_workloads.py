@@ -260,34 +260,25 @@ def matmult_skewed_main(n=192, rounds=8, width=8, work=30_000, seed=7):
 # Runners
 # ---------------------------------------------------------------------------
 
-def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
-                ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False, loss=None,
-                control=None, shard_workers=0):
+def run_cluster(entry_builder, nnodes, spec=None, **knobs):
     """Run a cluster benchmark on ``nnodes`` uniprocessor nodes.
 
     ``entry_builder(g, nnodes)`` is the guest main.  Returns
     ``(makespan, machine, value)``; the makespan uses one CPU per node,
-    as in the paper's cluster (§6.3).  ``ship_mode="full"`` selects the
-    naive every-page-every-hop migration protocol (ablation baseline)
-    and ``ship_mode="demand"`` the summary-only protocol where pages
-    fault over on touch; ``topology``/``placement`` choose the routed
-    fabric and the policy mapping the program's node numbers onto it;
-    ``prefetch_depth``/``compression`` configure the async fetch queues
-    and PAGE_BATCH wire compression; ``loss`` injects a deterministic
-    fault schedule (drop rate, kwargs dict, or LossSchedule) with
-    retransmission accounting — cost-only, never touching the value;
-    ``control`` attaches the deterministic adaptive control plane
-    ("adaptive", kwargs dict, or Controller — repro.cluster.control);
-    ``shard_workers`` (>= 2) runs sibling subtrees in forked host
-    processes at rendezvous points, bit-identical to the serial engine
-    (DESIGN §7).
+    as in the paper's cluster (§6.3).  Configuration comes from a
+    :class:`~repro.cluster.spec.ClusterSpec` (``spec=``) or from the
+    legacy keyword knobs it replaces (``ship_mode="full"`` for the
+    naive every-page-every-hop migration baseline, ``topology``/
+    ``placement`` for the routed fabric, ``prefetch_depth``/
+    ``compression`` for the async fetch queues and wire compression,
+    ``loss`` for the deterministic fault schedule, ``control`` for the
+    adaptive control plane, ``shard_workers`` for forked host
+    execution); both spellings build bit-identical machines through the
+    shared ``ClusterSpec.from_kwargs`` shim.
     """
-    machine = Machine(cost=cost, nnodes=nnodes, tcp_mode=tcp_mode,
-                      ship_mode=ship_mode, topology=topology,
-                      placement=placement, prefetch_depth=prefetch_depth,
-                      compression=compression, loss=loss, control=control,
-                      shard_workers=shard_workers)
+    from repro.cluster.spec import ClusterSpec
+    spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
+    machine = Machine(nnodes=nnodes, spec=spec)
 
     def main(g):
         return entry_builder(g, nnodes)
@@ -298,7 +289,7 @@ def run_cluster(entry_builder, nnodes, cost=None, tcp_mode=False,
             raise RuntimeError(
                 f"cluster workload faulted: {result.trap.name} {result.trap_info}"
             )
-        cpus = {node: 1 for node in range(nnodes)}
+        cpus = {node: spec.cpus_per_node for node in range(nnodes)}
         return result.makespan(cpus_per_node=cpus), machine, result.r0
 
 

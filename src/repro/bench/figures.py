@@ -11,6 +11,8 @@ from repro.baseline.distsim import DistLinux
 from repro.bench import cluster_workloads as cw
 from repro.bench.harness import run_determinator, run_linux
 from repro.bench.workloads import ALL
+from repro.cluster.serving import serve_trace
+from repro.cluster.spec import ClusterSpec
 from repro.kernel.machine import Machine
 from repro.runtime.make import Make, MakeRule
 from repro.runtime.process import unix_root
@@ -127,22 +129,23 @@ def figure11(node_counts=FIG11_NODES, md5_length=4, matmult_n=512):
     transport, which lifts the plateau but stays data-movement-bound
     (see DESIGN.md on this deliberate divergence).
     """
-    naive_cost = CostModel(msg_batch=1)
+    naive_spec = ClusterSpec(ship_mode="full", cost=CostModel(msg_batch=1))
     builders = {
-        "md5-circuit": (lambda: cw.md5_circuit_main(md5_length), {}),
-        "md5-tree": (lambda: cw.md5_tree_main(md5_length), {}),
-        "matmult-tree": (lambda: cw.matmult_tree_main(matmult_n), {}),
-        "matmult-naive": (
-            lambda: cw.matmult_tree_main(matmult_n),
-            {"ship_mode": "full", "cost": naive_cost},
-        ),
+        "md5-circuit": (lambda: cw.md5_circuit_main(md5_length),
+                        ClusterSpec()),
+        "md5-tree": (lambda: cw.md5_tree_main(md5_length), ClusterSpec()),
+        "matmult-tree": (lambda: cw.matmult_tree_main(matmult_n),
+                         ClusterSpec()),
+        "matmult-naive": (lambda: cw.matmult_tree_main(matmult_n),
+                          naive_spec),
     }
     series = {}
-    for name, (build, config) in builders.items():
-        base_time, _, base_value = cw.run_cluster(build(), nnodes=1, **config)
+    for name, (build, spec) in builders.items():
+        base_time, _, base_value = cw.run_cluster(build(), nnodes=1,
+                                                  spec=spec)
         series[name] = {}
         for nodes in node_counts:
-            time, _, value = cw.run_cluster(build(), nnodes=nodes, **config)
+            time, _, value = cw.run_cluster(build(), nnodes=nodes, spec=spec)
             assert value == base_value, f"{name}: result drift at {nodes} nodes"
             series[name][nodes] = base_time / time
     return series
@@ -162,11 +165,11 @@ FIG11_TOPOLOGIES = (
 #: prefetch vs pipelined + wire compression, with the eager delta
 #: default as the envelope.
 FIG11_PREFETCH_CELLS = (
-    ("eager-delta", {}),
-    ("stopwait", {"ship_mode": "demand"}),
-    ("pipelined", {"ship_mode": "demand", "prefetch_depth": 32}),
-    ("pipelined+comp", {"ship_mode": "demand", "prefetch_depth": 32,
-                        "compression": True}),
+    ("eager-delta", ClusterSpec()),
+    ("stopwait", ClusterSpec(ship_mode="demand")),
+    ("pipelined", ClusterSpec(ship_mode="demand", prefetch_depth=32)),
+    ("pipelined+comp", ClusterSpec(ship_mode="demand", prefetch_depth=32,
+                                   compression=True)),
 )
 
 
@@ -187,15 +190,15 @@ def figure11_prefetch(node_counts=(1, 2, 4, 8), matmult_n=256,
     base_time, _, base_value = cw.run_cluster(
         cw.matmult_tree_main(matmult_n), nnodes=1)
     series = {}
-    for label, config in FIG11_PREFETCH_CELLS:
+    for label, cell in FIG11_PREFETCH_CELLS:
+        spec = cell.with_(topology=topology)
         series[label] = {}
         for nodes in node_counts:
             if nodes == 1:
                 series[label][1] = 1.0
                 continue
             time, _, value = cw.run_cluster(
-                cw.matmult_tree_main(matmult_n), nnodes=nodes,
-                topology=topology, **config)
+                cw.matmult_tree_main(matmult_n), nnodes=nodes, spec=spec)
             assert value == base_value, \
                 f"{label}: result drift at {nodes} nodes"
             series[label][nodes] = base_time / time
@@ -216,7 +219,8 @@ def figure11_topology(node_counts=(1, 2, 4, 8), matmult_n=256,
     base_time, _, base_value = cw.run_cluster(
         cw.matmult_tree_main(matmult_n), nnodes=1)
     series = {}
-    for label, spec in FIG11_TOPOLOGIES:
+    for label, preset in FIG11_TOPOLOGIES:
+        spec = ClusterSpec(topology=preset, placement=placement)
         series[label] = {}
         for nodes in node_counts:
             if nodes == 1:
@@ -225,8 +229,7 @@ def figure11_topology(node_counts=(1, 2, 4, 8), matmult_n=256,
                 series[label][1] = 1.0
                 continue
             time, _, value = cw.run_cluster(
-                cw.matmult_tree_main(matmult_n), nnodes=nodes,
-                topology=spec, placement=placement)
+                cw.matmult_tree_main(matmult_n), nnodes=nodes, spec=spec)
             assert value == base_value, \
                 f"{label}: result drift at {nodes} nodes"
             series[label][nodes] = base_time / time
@@ -287,12 +290,14 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
         series["matmult-tree"][nodes] = lin_mm / det_mm
 
         det_tcp, _, _ = cw.run_cluster(
-            cw.matmult_tree_main(matmult_n), nodes, tcp_mode=True
+            cw.matmult_tree_main(matmult_n), nodes,
+            spec=ClusterSpec(tcp_mode=True)
         )
         series["tcp-impact"][nodes] = det_tcp / det_mm - 1.0
 
         det_comp, comp_machine, _ = cw.run_cluster(
-            cw.matmult_tree_main(matmult_n), nodes, compression=True
+            cw.matmult_tree_main(matmult_n), nodes,
+            spec=ClusterSpec(compression=True)
         )
         assert det_comp <= det_mm, "compression must never slow a run"
         series["comp-saving"][nodes] = \
@@ -300,12 +305,60 @@ def figure12(node_counts=(1, 2, 4, 8, 16), md5_length=4, matmult_n=512):
 
         for name, rate in FIG12_LOSS_RATES:
             det_loss, loss_machine, loss_value = cw.run_cluster(
-                cw.matmult_tree_main(matmult_n), nodes, loss=rate)
+                cw.matmult_tree_main(matmult_n), nodes,
+                spec=ClusterSpec(loss=rate))
             assert loss_value == mm_value, \
                 f"loss must be cost-only ({name}, {nodes} nodes)"
             assert loss_machine.transport.conservation_ok()
             series[name][nodes] = det_loss / det_mm - 1.0
     return series
+
+
+# ---------------------------------------------------------------------------
+# Serving figure: request-latency CDFs (tail latency, not makespan)
+# ---------------------------------------------------------------------------
+
+#: Scenario cells of :func:`figure_serving`, each one ClusterSpec built
+#: once and passed through — the production-shaped compositions of the
+#: existing machinery (loss, oversubscription, placement).
+FIG_SERVING_CELLS = (
+    ("lossless", ClusterSpec()),
+    ("loss-1%", ClusterSpec(loss=0.01)),
+    ("loss-5%", ClusterSpec(loss=0.05)),
+    ("two-tier", ClusterSpec(topology="two_tier:2")),
+    ("two-tier+locality", ClusterSpec(topology="two_tier:2",
+                                      placement="locality")),
+)
+
+#: Percentile grid the latency CDF is reported on.
+SERVING_CDF_GRID = (10, 25, 50, 75, 90, 95, 99, 100)
+
+
+def figure_serving(nnodes=4, requests=160, mean_gap=240_000, seed=11,
+                   cells=FIG_SERVING_CELLS):
+    """Per-request latency CDFs of the open-loop serving trace.
+
+    The first figure in the repo measured in *request latency* rather
+    than makespan: one deterministic arrival trace (seeded Poisson with
+    diurnal bursts) served under each scenario spec, reduced to a
+    latency-at-percentile table (cycles at each grid percentile — the
+    CDF transposed) plus the summary metrics a service owner reads.
+
+    Returns ``{"cdf": {cell: {percentile: cycles}},
+    "metrics": {cell: {p50, p95, p99, goodput}}}``.  All integers,
+    bit-identical for a given seed.
+    """
+    cdf = {}
+    metrics = {}
+    for label, spec in cells:
+        result = serve_trace(nnodes, spec=spec, requests=requests,
+                             mean_gap=mean_gap, seed=seed)
+        cdf[label] = {q: result.percentile(q) for q in SERVING_CDF_GRID}
+        metrics[label] = {
+            "p50": result.p50, "p95": result.p95, "p99": result.p99,
+            "goodput": result.goodput,
+        }
+    return {"cdf": cdf, "metrics": metrics}
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """High-level cluster runner."""
 
 from repro.cluster.network import NetworkStats
+from repro.cluster.spec import ClusterSpec
 from repro.kernel.machine import Machine
 
 
@@ -11,6 +12,11 @@ class ClusterResult:
         self.machine = machine
         self.result = result
         self.nnodes = nnodes
+        if machine.cpus_per_node != cpus_per_node:
+            raise AssertionError(
+                f"cpus_per_node disagreement: machine ran under "
+                f"{machine.cpus_per_node}, result asked to schedule on "
+                f"{cpus_per_node} — configure it on the ClusterSpec")
         self._cpus = {node: cpus_per_node for node in range(nnodes)}
         #: The root program's return value.
         self.value = result.r0
@@ -36,57 +42,23 @@ class Cluster:
     >>> result.makespan(), result.network.summary()
     """
 
-    def __init__(self, nnodes, cpus_per_node=1, cost=None, tcp_mode=False,
-                 dirty_tracking=True, ship_mode="delta", topology=None,
-                 placement=None, prefetch_depth=None, compression=False,
-                 loss=None, control=None, shard_workers=0):
+    def __init__(self, nnodes, spec=None, **knobs):
         self.nnodes = nnodes
-        self.cpus_per_node = cpus_per_node
-        self.cost = cost
-        self.tcp_mode = tcp_mode
-        #: Generation-tagged dirty tracking: the per-node read-only page
-        #: cache keys on ``(serial, generation)`` content tags, so an
-        #: unchanged frame revisiting a node never crosses the wire twice.
-        self.dirty_tracking = dirty_tracking
-        #: Migration shipping policy ("delta" or "full"); see
-        #: :class:`repro.cluster.transport.Transport`.
-        self.ship_mode = ship_mode
-        #: Fabric the transport routes over ("flat", "two_tier:<rack>",
-        #: "fat_tree:<rack>", a Topology, or a builder) and the policy
-        #: placing program node numbers onto it ("round_robin",
-        #: "locality", "identity", or a PlacementPolicy).
-        self.topology = topology
-        self.placement = placement
-        #: Async prefetch-queue depth per node (None -> cost model's
-        #: knob; 0 = stop-and-wait) and PAGE_BATCH wire compression.
-        self.prefetch_depth = prefetch_depth
-        self.compression = compression
-        #: Deterministic fault schedule (None = lossless; a drop rate,
-        #: LossSchedule kwargs dict, or LossSchedule instance) — see
-        #: :mod:`repro.cluster.faults`.  Retransmission timing comes
-        #: from the cost model (``retx_timeout``/``retx_limit``).
-        self.loss = loss
-        #: Deterministic adaptive control plane (None = static knobs;
-        #: "adaptive", a Controller kwargs dict, or a Controller) — see
-        #: :mod:`repro.cluster.control`.
-        self.control = control
-        #: Sharded host execution: fork up to this many host processes
-        #: at eligible rendezvous barriers and run sibling subtrees
-        #: concurrently, bit-identically (repro.kernel.shard).  0 or 1
-        #: keeps the serial engine.
-        self.shard_workers = shard_workers
+        #: The validated :class:`~repro.cluster.spec.ClusterSpec` every
+        #: machine this cluster builds will run under.  Legacy keyword
+        #: knobs (``ship_mode=...``, ``loss=...``, ...) are accepted via
+        #: the shared ``ClusterSpec.from_kwargs`` shim and produce
+        #: bit-identical machines to the equivalent ``spec=``.
+        self.spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
+
+    @property
+    def cpus_per_node(self):
+        return self.spec.cpus_per_node
 
     def run(self, entry, args=()):
         """Run ``entry(g, *args)`` as the root program; returns a
         :class:`ClusterResult`.  Raises if the program faults."""
-        machine = Machine(
-            cost=self.cost, nnodes=self.nnodes, tcp_mode=self.tcp_mode,
-            dirty_tracking=self.dirty_tracking, ship_mode=self.ship_mode,
-            topology=self.topology, placement=self.placement,
-            prefetch_depth=self.prefetch_depth, compression=self.compression,
-            loss=self.loss, control=self.control,
-            shard_workers=self.shard_workers,
-        )
+        machine = Machine(nnodes=self.nnodes, spec=self.spec)
         with machine:
             result = machine.run(entry, args)
             if result.trap.name not in ("EXIT", "RET"):
@@ -95,39 +67,29 @@ class Cluster:
                     f"{result.trap_info}"
                 )
             return ClusterResult(machine, result, self.nnodes,
-                                 self.cpus_per_node)
+                                 self.spec.cpus_per_node)
 
 
-def sweep_nodes(entry_builder, node_counts, cpus_per_node=1, cost=None,
-                check_value=True, tcp_mode=False, dirty_tracking=True,
-                ship_mode="delta", topology=None, placement=None,
-                prefetch_depth=None, compression=False, loss=None,
-                control=None, shard_workers=0):
+def sweep_nodes(entry_builder, node_counts, spec=None, check_value=True,
+                **knobs):
     """Run ``entry_builder(nnodes)``'s program across cluster sizes.
 
     Returns ``{nnodes: (speedup_vs_first, ClusterResult)}``.  With
     ``check_value`` (default) every size must compute the same value —
     distribution is semantically transparent (§3.3), and a ``loss``
-    schedule must never break it (faults are cost-only).  The machine
-    configuration knobs (``tcp_mode``, ``dirty_tracking``,
-    ``ship_mode``, ``topology``, ``placement``, ``prefetch_depth``,
-    ``compression``, ``loss``, ``shard_workers``) apply to *every*
-    size, so sweeps compare like with like; pass ``topology`` as a
-    preset string or an ``nnodes -> Topology`` builder, since each size
-    gets its own fabric.  ``shard_workers`` bounds the forked host
-    workers running sibling subtrees in parallel per size — host-side
-    only, bit-identical results (DESIGN §7).
+    schedule must never break it (faults are cost-only).  One
+    :class:`~repro.cluster.spec.ClusterSpec` (given as ``spec=`` or
+    assembled from legacy keyword knobs) applies to *every* size, so
+    sweeps compare like with like; pass ``topology`` as a preset string
+    or an ``nnodes -> Topology`` builder, since each size gets its own
+    fabric.
     """
+    spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
     series = {}
     base_time = None
     base_value = None
     for nnodes in node_counts:
-        cluster = Cluster(nnodes, cpus_per_node, cost, tcp_mode=tcp_mode,
-                          dirty_tracking=dirty_tracking, ship_mode=ship_mode,
-                          topology=topology, placement=placement,
-                          prefetch_depth=prefetch_depth,
-                          compression=compression, loss=loss,
-                          control=control, shard_workers=shard_workers)
+        cluster = Cluster(nnodes, spec=spec)
         result = cluster.run(entry_builder(nnodes))
         time = result.makespan()
         if base_time is None:

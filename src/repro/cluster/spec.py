@@ -1,0 +1,186 @@
+"""`ClusterSpec`: every cross-cutting knob of a simulated run, in one place.
+
+Before this module, the same thirteen knobs (`tcp_mode`,
+`dirty_tracking`, `ship_mode`, `topology`, `placement`,
+`prefetch_depth`, `compression`, `loss`, `control`, `shard_workers`,
+`cost`, `cpus_per_node`, ...) were hand-plumbed through four diverging
+parameter lists — ``Machine.__init__``, ``Cluster.__init__``,
+``sweep_nodes`` and ``run_cluster`` — and every new knob grew all four
+signatures in lockstep.  A :class:`ClusterSpec` is the single source of
+truth instead:
+
+* **One validation site.**  ``ship_mode`` membership, ``prefetch_depth``
+  range, ``loss``/``control``/``placement`` spec syntax all raise here,
+  at construction, with the same message no matter which entry point the
+  bad knob came through.
+* **One back-compat shim.**  :meth:`ClusterSpec.from_kwargs` accepts the
+  legacy keyword names, so ``Machine(ship_mode="demand")`` and
+  ``Machine(spec=ClusterSpec(ship_mode="demand"))`` are the same machine
+  — bit-identical, not merely equivalent.
+* **Frozen value semantics.**  A spec can be built once and shared by a
+  whole sweep; anything *stateful* (a live ``Controller``, the resolved
+  ``Topology`` for a concrete node count) is materialized per machine by
+  the ``resolve_*`` helpers, never stored on the spec.
+
+Typical use::
+
+    from repro import ClusterSpec, Cluster
+
+    spec = ClusterSpec(ship_mode="demand", prefetch_depth=16,
+                       topology="two_tier:2", placement="locality",
+                       loss=0.01, compression=True)
+    result = Cluster(nnodes=8, spec=spec).run(my_program)
+"""
+
+from dataclasses import dataclass, fields, replace
+
+from repro.cluster.control import resolve_control
+from repro.cluster.faults import resolve_loss
+from repro.cluster.placement import resolve_placement
+from repro.cluster.topology import resolve_topology
+from repro.timing.model import CostModel
+
+#: Migration page-shipping policies (see repro.cluster.transport).
+SHIP_MODES = ("delta", "full", "demand")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable bundle of every cross-cutting configuration knob.
+
+    Field semantics are exactly the legacy keyword arguments' (see
+    ``docs/knobs.md`` for the full reference); defaults reproduce a bare
+    ``Machine()``/``Cluster(...)``.
+    """
+
+    #: Cycle-price table (None -> a default :class:`CostModel` per run).
+    cost: object = None
+    #: CPUs per cluster node used when scheduling the run's trace.  The
+    #: spec carries it so the machine and every downstream consumer
+    #: (``ClusterResult``, the serving latency extractor) agree on the
+    #: CPU count the numbers were computed against.
+    cpus_per_node: int = 1
+    #: TCP-like framing surcharge on every cluster message (§6.3).
+    tcp_mode: bool = False
+    #: Generation-tagged dirty ledger (False = legacy O(mapped) scans).
+    dirty_tracking: bool = True
+    #: Migration page shipping: "delta", "full", or "demand".
+    ship_mode: str = "delta"
+    #: Routed fabric: preset string, Topology, or nnodes -> Topology.
+    topology: object = None
+    #: Virtual-node placement policy (None -> "round_robin").
+    placement: object = None
+    #: Async fetch-queue depth (None -> ``cost.prefetch_depth``).
+    prefetch_depth: object = None
+    #: PAGE_BATCH wire compression (zero suppression + RLE).
+    compression: bool = False
+    #: Deterministic fault schedule (rate, kwargs dict, LossSchedule).
+    loss: object = None
+    #: Adaptive control plane ("adaptive", kwargs dict, Controller).
+    control: object = None
+    #: Forked host workers for sibling subtrees (< 2 disables).
+    shard_workers: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "tcp_mode", bool(self.tcp_mode))
+        object.__setattr__(self, "dirty_tracking", bool(self.dirty_tracking))
+        object.__setattr__(self, "compression", bool(self.compression))
+        if self.ship_mode not in SHIP_MODES:
+            raise ValueError(f"unknown ship_mode {self.ship_mode!r} "
+                             f"(expected one of {SHIP_MODES})")
+        if self.prefetch_depth is not None and self.prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, "
+                             f"got {self.prefetch_depth}")
+        if not isinstance(self.cpus_per_node, int) or self.cpus_per_node < 1:
+            raise ValueError(f"cpus_per_node must be a positive int, "
+                             f"got {self.cpus_per_node!r}")
+        if not isinstance(self.shard_workers, int) or self.shard_workers < 0:
+            raise ValueError(f"shard_workers must be a non-negative int, "
+                             f"got {self.shard_workers!r}")
+        if self.cost is not None and not isinstance(self.cost, CostModel):
+            raise ValueError(f"cost must be a CostModel or None, "
+                             f"got {self.cost!r}")
+        # Spec-syntax validation happens here — once — by running the
+        # same resolvers the machine will use.  The throwaway results
+        # are discarded: anything stateful must be materialized fresh
+        # per machine (see the resolve_* methods).
+        resolve_loss(self.loss)
+        resolve_control(self.control)
+        resolve_placement(self.placement)
+
+    # -- legacy-kwarg shim ---------------------------------------------------
+
+    @classmethod
+    def knob_names(cls):
+        """The spec's field names — the only knob vocabulary any entry
+        point accepts (the signature-guard test enforces this)."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, spec=None, **knobs):
+        """Build a spec from legacy keyword arguments.
+
+        The shared back-compat shim of ``Machine``, ``Cluster``,
+        ``sweep_nodes`` and ``run_cluster``: each forwards its ``spec=``
+        and leftover ``**knobs`` here, so a knob misspelling raises the
+        same ``TypeError`` everywhere and a knob can never be silently
+        dropped by one entry point.  Passing both a ``spec`` and legacy
+        knobs is ambiguous and refused.
+        """
+        if spec is not None:
+            if knobs:
+                raise TypeError(
+                    f"pass either spec= or legacy knob kwargs, not both "
+                    f"(got spec and {sorted(knobs)})")
+            if not isinstance(spec, cls):
+                raise TypeError(f"spec must be a ClusterSpec, got {spec!r}")
+            return spec
+        unknown = sorted(set(knobs) - set(cls.knob_names()))
+        if unknown:
+            raise TypeError(
+                f"unknown configuration knob(s) {unknown}; "
+                f"ClusterSpec fields are {list(cls.knob_names())}")
+        return cls(**knobs)
+
+    def to_kwargs(self):
+        """The legacy keyword-argument dict this spec is equivalent to
+        (``ClusterSpec.from_kwargs(**spec.to_kwargs()) == spec``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def with_(self, **changes):
+        """A copy with ``changes`` applied (validated like any spec)."""
+        return replace(self, **changes)
+
+    # -- per-machine materialization ----------------------------------------
+
+    def resolved_cost(self):
+        """The run's :class:`CostModel` (a default one when unset)."""
+        return self.cost if self.cost is not None else CostModel()
+
+    def resolve_prefetch_depth(self, cost):
+        """Effective static queue depth: the spec's, else ``cost``'s."""
+        return cost.prefetch_depth if self.prefetch_depth is None \
+            else self.prefetch_depth
+
+    def resolve_loss(self):
+        """A :class:`~repro.cluster.faults.LossSchedule` (or None).
+        Schedules are pure functions, so sharing one is harmless — but
+        resolving per machine keeps dict/rate specs cheap to reuse."""
+        return resolve_loss(self.loss)
+
+    def resolve_control(self):
+        """A fresh :class:`~repro.cluster.control.Controller` (or None)
+        for one machine.  Controllers are *stateful*; string/dict specs
+        materialize a new one per machine so a spec shared across a
+        sweep never leaks adaptation between runs."""
+        return resolve_control(self.control)
+
+    def resolve_placement(self):
+        """A placement policy instance for one machine."""
+        return resolve_placement(self.placement)
+
+    def resolve_topology(self, nnodes):
+        """The concrete :class:`~repro.cluster.topology.Topology` for a
+        machine of ``nnodes`` (presets and builders need the size, so
+        this is the one resolver that cannot run at spec construction)."""
+        return resolve_topology(self.topology, nnodes)

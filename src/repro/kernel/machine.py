@@ -29,7 +29,6 @@ from repro.kernel.guest import Guest
 from repro.kernel.kernel import Kernel
 from repro.kernel.space import Space, SpaceState
 from repro.mem.page import FrameAllocator
-from repro.timing.model import CostModel
 from repro.timing.schedule import schedule
 from repro.timing.trace import Trace
 
@@ -73,35 +72,41 @@ class Machine:
 
     def __init__(
         self,
-        cost=None,
         nnodes=1,
         console_input=b"",
         time_script=(),
         merge_mode="strict",
-        tcp_mode=False,
         programs=None,
-        dirty_tracking=True,
-        ship_mode="delta",
-        topology=None,
-        placement=None,
-        prefetch_depth=None,
-        compression=False,
-        loss=None,
-        control=None,
-        shard_workers=0,
+        spec=None,
+        **knobs,
     ):
+        # Imported lazily: the cluster package's public modules import
+        # Machine, so a module-level import here would cycle.
+        from repro.cluster.spec import ClusterSpec
+        #: The validated configuration this machine runs under.  Every
+        #: cross-cutting knob (ship_mode, topology, loss, ...) lives on
+        #: the spec; legacy keyword arguments are accepted through the
+        #: shared ``ClusterSpec.from_kwargs`` shim and are bit-identical
+        #: to passing the equivalent ``spec=``.
+        self.spec = spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
         #: Cost model used for all virtual-time charging.
-        self.cost = cost or CostModel()
+        self.cost = spec.resolved_cost()
         #: Number of cluster nodes (1 = single machine; §3.3).
         self.nnodes = nnodes
+        #: CPUs per node the run's trace is meant to be scheduled on.
+        #: The machine itself charges work per-space; consumers that
+        #: call ``schedule()`` (ClusterResult, the serving latency
+        #: extractor) read this so every makespan/latency figure is
+        #: computed against the same CPU count.
+        self.cpus_per_node = spec.cpus_per_node
         #: Default merge conflict mode (see repro.mem.merge.merge_range).
         self.merge_mode = merge_mode
         #: Model TCP-like framing on cluster messages (§6.3).
-        self.tcp_mode = tcp_mode
+        self.tcp_mode = spec.tcp_mode
         #: Generation-tagged dirty-page tracking (DESIGN.md).  Disable to
         #: get the legacy O(mapped) Snap/Merge behavior (the ablation
         #: baseline of benchmarks/bench_ablation_dirtytrack.py).
-        self.dirty_tracking = dirty_tracking
+        self.dirty_tracking = spec.dirty_tracking
         #: Migration page-shipping policy: ``"delta"`` ships only pages
         #: whose content the target node does not already hold (visit
         #: tokens answered from the dirty ledger + per-node tag cache);
@@ -111,22 +116,16 @@ class Machine:
         #: carries only the address-space summary and pages fault over
         #: on first touch (the paper's baseline §3.3 protocol, and the
         #: stage for the stop-and-wait vs pipelined-prefetch ablation).
-        if ship_mode not in ("delta", "full", "demand"):
-            raise ValueError(f"unknown ship_mode {ship_mode!r}")
-        self.ship_mode = ship_mode
+        self.ship_mode = spec.ship_mode
         #: Depth of each node's async prefetch queue: how many
         #: predicted-next frames may be in flight per node.  ``None``
         #: takes the cost model's ``prefetch_depth`` knob; 0 is
         #: stop-and-wait (every page crosses only inside a demand round
         #: trip or a migration delta).
-        depth = self.cost.prefetch_depth if prefetch_depth is None \
-            else prefetch_depth
-        if depth < 0:
-            raise ValueError(f"prefetch_depth must be >= 0, got {depth}")
-        self.prefetch_depth = depth
+        self.prefetch_depth = spec.resolve_prefetch_depth(self.cost)
         #: Wire compression of PAGE_BATCH payloads (zero-page
         #: suppression + zero-run RLE; see repro.cluster.compress).
-        self.compression = bool(compression)
+        self.compression = spec.compression
         #: Machine-owned frame serial source (no cross-machine state).
         self.frames = FrameAllocator()
 
@@ -163,28 +162,23 @@ class Machine:
         #: Total pages that crossed the wire (migration-shipped plus
         #: demand-fetched; the transport keeps the split).
         self.pages_fetched = 0
-        # Imported lazily: the cluster package's public modules import
-        # Machine, so a module-level import here would cycle.
-        from repro.cluster.control import resolve_control
-        from repro.cluster.faults import resolve_loss
-        from repro.cluster.placement import resolve_placement
-        from repro.cluster.topology import resolve_topology
+        # Transport is also a lazy import (same Machine cycle as spec).
         from repro.cluster.transport import Transport
         #: Deterministic fault schedule of the fabric: None (lossless,
         #: the default — bit-identical to the pre-fault transport), a
         #: drop rate, a dict of LossSchedule kwargs, or a LossSchedule.
         #: Faults are cost-only: computed values and memory images are
         #: identical under any schedule (see repro.cluster.faults).
-        self.loss = resolve_loss(loss)
+        self.loss = spec.resolve_loss()
         #: Routed fabric the transport prices traffic over: "flat"
         #: (legacy full mesh, the default), "two_tier", "fat_tree", or a
         #: Topology instance/builder (see repro.cluster.topology).
-        self.topology = resolve_topology(topology, nnodes)
+        self.topology = spec.resolve_topology(nnodes)
         #: Placement policy mapping program-visible (virtual) node
         #: numbers onto fabric nodes — "round_robin" (default; identity
         #: on the flat fabric), "locality", "identity", or a
         #: PlacementPolicy instance (see repro.cluster.placement).
-        self.placement = resolve_placement(placement)
+        self.placement = spec.resolve_placement()
         #: virtual node number -> physical node (sticky; see place()).
         self.node_map = {}
         #: Message-level interconnect all cross-node paths route through.
@@ -195,7 +189,7 @@ class Machine:
         #: kernel invokes it at quantum boundaries; it tunes per-node
         #: prefetch depth, per-route retransmit timeouts, and placement
         #: from the transport's telemetry windows (repro.cluster.control).
-        self.control = resolve_control(control)
+        self.control = spec.resolve_control()
         if self.control is not None:
             self.control.reset(self)
         #: Sharded host execution (repro.kernel.shard): at a rendezvous
@@ -203,9 +197,9 @@ class Machine:
         #: host processes and run the sibling subtrees concurrently,
         #: adopting each result bit-identically where the serial engine
         #: would have run it.  0 or 1 keeps the serial engine alone.
-        if shard_workers and shard_workers >= 2:
+        if spec.shard_workers >= 2:
             from repro.kernel.shard import ShardCoordinator
-            self.shard = ShardCoordinator(self, shard_workers)
+            self.shard = ShardCoordinator(self, spec.shard_workers)
         else:
             self.shard = None
 

@@ -89,6 +89,29 @@ class Trace:
         self.edges.append((closed.id, opened.id, 0))
         return closed, opened
 
+    def sleep(self, uid, cycles, label=""):
+        """Close ``uid``'s open segment and open the next one ``cycles``
+        of virtual time later, consuming no CPU in between.
+
+        A timer wait, as opposed to :meth:`charge`, which models compute
+        and occupies a CPU for its duration.  The serving dispatcher
+        uses it to idle until the next trace arrival without starving
+        the request children sharing its node.  Sleep does not advance
+        :meth:`charged` (it is not work); callers pacing against the
+        program clock must account for it separately.
+
+        Returns ``(closed, opened)``.
+        """
+        closed = self._open.pop(uid)
+        closed.closed = True
+        self._last[uid] = closed
+        self._cum[uid] = self._cum.get(uid, 0) + closed.cycles
+        opened = Segment(len(self.segments), uid, closed.node, label)
+        self.segments.append(opened)
+        self._open[uid] = opened
+        self.edges.append((closed.id, opened.id, cycles))
+        return closed, opened
+
     def end(self, uid):
         """Close ``uid``'s final segment (context exits)."""
         closed = self._open.pop(uid)

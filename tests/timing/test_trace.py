@@ -76,3 +76,19 @@ def test_cycles_by_uid():
     tr.charge("b", 5)
     tr.finish()
     assert tr.cycles_by_uid() == {"a": 30, "b": 5}
+
+
+def test_sleep_is_a_latency_edge_not_work():
+    """A sleep defers the next segment by a timer edge: it neither
+    charges cycles nor occupies a CPU, and the program clock
+    (``charged``) does not advance — pacing callers track it apart."""
+    tr = Trace()
+    tr.begin("a")
+    tr.charge("a", 10)
+    closed, opened = tr.sleep("a", 500, label="arrival-wait")
+    assert closed.closed and not opened.closed
+    assert (closed.id, opened.id, 500) in tr.edges
+    assert tr.charged("a") == 10
+    tr.charge("a", 3)
+    assert tr.charged("a") == 13
+    assert tr.total_cycles() == 13
