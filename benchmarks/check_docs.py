@@ -1,20 +1,21 @@
 #!/usr/bin/env python
-"""CI gate: the README quickstart must actually run.
+"""CI gate: the documented command lines must actually run.
 
-Extracts every command line from README.md's fenced shell code blocks
-and replays each through a *smoke* variant (``--collect-only`` for the
-test suite, ``--smoke`` for examples, ``--help`` for utilities), so a
-renamed entry point, a dropped flag, or a moved file makes the docs job
-fail instead of silently rotting the quickstart.  Two drift directions
-are covered:
+Extracts every command line from the fenced shell code blocks of the
+README quickstart *and* ``docs/debugging.md`` and replays each through
+a *smoke* variant (``--collect-only`` for the test suite, ``--smoke``
+for long examples, ``--help`` for utilities, verbatim for the
+deterministic inspector commands), so a renamed entry point, a dropped
+flag, or a moved file makes the docs job fail instead of silently
+rotting the docs.  Two drift directions are covered:
 
-* a REQUIRED command disappearing from the README (someone edited the
-  quickstart away) fails;
-* a command appearing in the README that this script does not know how
+* a REQUIRED command disappearing from its document (someone edited
+  the guide away) fails;
+* a command appearing in a document that this script does not know how
   to smoke-test fails with instructions to teach it — undocumented
   commands never get silently skipped.
 
-Usage: python benchmarks/check_docs.py [--readme README.md]
+Usage: python benchmarks/check_docs.py [--docs FILE [FILE ...]]
 """
 
 import argparse
@@ -26,8 +27,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
-#: README command -> argv to actually run (None = run verbatim).  The
-#: keys must match the README lines exactly; editing the quickstart
+#: Documented command -> argv to actually run (None = run verbatim).
+#: The keys must match the documented lines exactly; editing a guide
 #: means editing this table in the same commit.
 SMOKE = {
     "PYTHONPATH=src python -m pytest -x -q":
@@ -40,13 +41,39 @@ SMOKE = {
         ["python", "benchmarks/check_regression.py", "--help"],
     "python benchmarks/check_docs.py":
         ["python", "benchmarks/check_docs.py", "--help"],
+    # docs/debugging.md — the inspector commands are deterministic and
+    # fast, so they run verbatim (drift in scenario names, cycle
+    # numbers, checkpoint tags, or subcommand flags fails here).
+    "PYTHONPATH=src python -m repro.debug --scenario retx summary": None,
+    "PYTHONPATH=src python -m repro.debug --scenario retx tree --pages":
+        None,
+    "PYTHONPATH=src python -m repro.debug tree": None,
+    "PYTHONPATH=src python -m repro.debug bt s3": None,
+    "PYTHONPATH=src python -m repro.debug --scenario retx links": None,
+    "PYTHONPATH=src python -m repro.debug --scenario retx links --at 20000":
+        None,
+    "PYTHONPATH=src python -m repro.debug diff epoch-4 epoch-5": None,
+    "PYTHONPATH=src python -m repro.debug goto 345806": None,
+    "PYTHONPATH=src python -m repro.debug --scenario retx goto 45924": None,
+    "PYTHONPATH=src python examples/fault_tolerance.py": None,
+    "PYTHONPATH=src python -m pytest tests/debug -q":
+        ["python", "-m", "pytest", "tests/debug", "-q", "--collect-only"],
 }
 
-#: Commands the quickstart must keep containing.
+#: Document (repo-relative) -> commands it must keep containing.
 REQUIRED = {
-    "PYTHONPATH=src python -m pytest -x -q",
-    "PYTHONPATH=src python examples/distributed_md5.py",
+    "README.md": {
+        "PYTHONPATH=src python -m pytest -x -q",
+        "PYTHONPATH=src python examples/distributed_md5.py",
+    },
+    "docs/debugging.md": {
+        "PYTHONPATH=src python -m repro.debug goto 345806",
+        "PYTHONPATH=src python examples/fault_tolerance.py",
+    },
 }
+
+#: Documents scanned by default.
+DEFAULT_DOCS = ("README.md", "docs/debugging.md")
 
 _FENCE = re.compile(r"^```(?:ba)?sh\s*$")
 
@@ -96,30 +123,44 @@ def run(command):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--readme", default=str(REPO / "README.md"))
+    parser.add_argument(
+        "--docs", nargs="+",
+        default=[str(REPO / doc) for doc in DEFAULT_DOCS],
+        help="markdown files to scan (default: README.md and "
+             "docs/debugging.md)")
     args = parser.parse_args(argv)
 
-    readme = Path(args.readme)
-    if not readme.exists():
-        print(f"check_docs: {readme} does not exist", file=sys.stderr)
-        return 2
-    commands = extract_commands(readme)
-    if not commands:
-        print("check_docs: README has no shell code blocks — the "
-              "quickstart is gone", file=sys.stderr)
-        return 2
-
     failures = []
-    for required in sorted(REQUIRED - set(commands)):
-        failures.append(f"required quickstart command missing from "
-                        f"README: {required!r}")
-    for command in commands:
-        if command not in SMOKE:
-            failures.append(
-                f"README command {command!r} is unknown to check_docs.py "
-                f"— add a smoke mapping for it in the same commit")
-        elif not run(command):
-            failures.append(f"smoke run failed: {command!r}")
+    total = 0
+    smoked = set()
+    for path in args.docs:
+        doc = Path(path)
+        if not doc.exists():
+            print(f"check_docs: {doc} does not exist", file=sys.stderr)
+            return 2
+        commands = extract_commands(doc)
+        if not commands:
+            failures.append(f"{doc.name} has no shell code blocks — its "
+                            f"command walkthrough is gone")
+            continue
+        total += len(commands)
+        try:
+            relpath = doc.resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            relpath = doc.name
+        for required in sorted(REQUIRED.get(relpath, set()) - set(commands)):
+            failures.append(f"required command missing from "
+                            f"{relpath}: {required!r}")
+        for command in commands:
+            if command not in SMOKE:
+                failures.append(
+                    f"{relpath} command {command!r} is unknown to "
+                    f"check_docs.py — add a smoke mapping for it in the "
+                    f"same commit")
+            elif command not in smoked:
+                smoked.add(command)
+                if not run(command):
+                    failures.append(f"smoke run failed: {command!r}")
 
     if failures:
         print(f"\ncheck_docs: {len(failures)} documentation drift(s):",
@@ -127,8 +168,8 @@ def main(argv=None):
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"check_docs: all {len(commands)} README quickstart commands "
-          f"smoke-tested ok")
+    print(f"check_docs: all {total} documented commands "
+          f"({len(smoked)} unique) smoke-tested ok")
     return 0
 
 

@@ -15,10 +15,18 @@ example makes it concrete:
 4. deterministic execution reaches exactly the answer the fault-free
    run would have produced.
 
+The post-mortem at the end is done with the time-travel debugger
+(``repro.debug``): the finished machine is opened with an
+:class:`~repro.debug.Inspector`, which summarises the run, backtraces
+the crashed space, diffs the checkpoints either side of the crash at
+page granularity, and replays to the crash cycle to inspect the trapped
+state in place (``docs/debugging.md`` is the guided tour).
+
 Run:  python examples/fault_tolerance.py
 """
 
 from repro import Machine, Trap
+from repro.debug import Inspector, render
 from repro.runtime.checkpoint import Checkpointer
 
 STATE = 0x10_0000          # progress counter + accumulator page
@@ -85,11 +93,55 @@ def main(g):
     return 0 if result == expected else 1
 
 
+def run(prepare=None):
+    """Inspector recipe: fixed configuration -> bit-identical reruns."""
+    machine = Machine()
+    if prepare is not None:
+        prepare(machine)
+    result = machine.run(main)
+    return machine, result
+
+
 if __name__ == "__main__":
-    with Machine() as machine:
-        result = machine.run(main)
+    machine, result = run()
+    insp = Inspector(machine, result=result, recipe=run)
+    try:
         print(result.console.decode(), end="")
-        print("supervisor debug log:")
-        for line in result.debug:
-            print("  " + line)
+
+        # The finished machine is a complete debugging artifact; the
+        # inspector reads the trap, the checkpoints, and the trace out
+        # of it instead of us hand-rolling prints.
+        print()
+        print("== post-mortem: summary ==")
+        print("\n".join(render.format_summary(insp)))
+
+        crash = insp.traps()[0]
+        print()
+        print(f"== backtrace of {crash.uid} (crashed at cycle "
+              f"{crash.cycle}) ==")
+        print("\n".join(render.format_backtrace(insp, crash.uid, limit=4)))
+
+        # Page-granular diff of the checkpoints either side of the
+        # crash: epoch-4 predates it, epoch-5 was saved after rollback
+        # and replay.  Exactly one page differs — the progress
+        # page advanced one clean epoch; the poison left no trace in
+        # any checkpoint because the crash preempted its save.
+        before = f"epoch-{INJECT_AT_EPOCH - 1}"
+        after = f"epoch-{INJECT_AT_EPOCH}"
+        print()
+        print(f"== checkpoint diff: {before} -> {after} ==")
+        print("\n".join(render.format_diff(insp.diff(before, after),
+                                           before, after)))
+
+        # Time travel: replay deterministically to the crash cycle and
+        # inspect the trapped state in place (bit-identity asserted
+        # against the original trace).
+        print()
+        print(f"== goto cycle {crash.cycle}: the machine at the "
+              f"moment of the crash ==")
+        print("\n".join(render.format_goto(insp.goto(crash.cycle))))
+
+        print()
         print("exit status:", result.r0)
+    finally:
+        machine.close()

@@ -123,3 +123,18 @@ class FileConflictError(FileSystemError):
 
 class DeadlockError(RuntimeApiError):
     """The deterministic scheduler detected that no thread can make progress."""
+
+
+# --------------------------------------------------------------------------
+# Post-mortem debugger
+# --------------------------------------------------------------------------
+
+class DebugApiError(ReproError):
+    """Misuse of the post-mortem inspector (repro.debug)."""
+
+
+class ReplayDivergence(ReproError):
+    """A deterministic re-execution produced a different trace than the
+    original run — by construction impossible unless the program or the
+    machine configuration changed between the runs, so the debugger
+    refuses to present state from the divergent replay."""

@@ -1,0 +1,102 @@
+"""CLI for the post-mortem inspector: ``python -m repro.debug``.
+
+Opens a built-in scenario (``--scenario``; see
+:mod:`repro.debug.scenarios`), runs it once, and inspects the finished
+run.  Every subcommand's output is deterministic — same scenario, same
+bytes, every time — which is what lets ``benchmarks/check_docs.py``
+smoke the documented command lines and CI archive the output.
+
+Subcommands::
+
+    summary              whole-run overview (result, traps, checkpoints)
+    tree [--pages]       walk the space tree symbolically
+    bt [UID]             per-space backtrace from the trace
+    links [--at CYCLE]   link ledgers; with --at, wire state at a cycle
+    diff TAG_A TAG_B     page-granular checkpoint diff
+    goto CYCLE [--pages] replay to CYCLE and inspect there
+"""
+
+import argparse
+import sys
+
+from repro.common.errors import DebugApiError, ReplayDivergence
+from repro.debug import render
+from repro.debug.inspector import Inspector
+from repro.debug.scenarios import SCENARIOS, get_scenario
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.debug",
+        description="Post-mortem inspector over a deterministic run.")
+    parser.add_argument(
+        "--scenario", default="fault-tolerance",
+        choices=sorted(SCENARIOS),
+        help="built-in re-runnable scenario to open "
+             "(default: fault-tolerance)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("summary", help="whole-run overview")
+
+    tree = sub.add_parser("tree", help="walk the space tree")
+    tree.add_argument("--pages", action="store_true",
+                      help="list per-space page tables with content tags")
+
+    bt = sub.add_parser("bt", help="per-space backtrace")
+    bt.add_argument("uid", nargs="?", default=None,
+                    help="trace context id (default: every space)")
+    bt.add_argument("--limit", type=int, default=16,
+                    help="frames per backtrace (default 16)")
+
+    links = sub.add_parser("links", help="link ledgers / wire state")
+    links.add_argument("--at", type=int, default=None, metavar="CYCLE",
+                       help="reconstruct in-flight state at this cycle")
+
+    diff = sub.add_parser("diff", help="diff two checkpoints")
+    diff.add_argument("tag_a")
+    diff.add_argument("tag_b")
+
+    goto = sub.add_parser("goto", help="replay to a cycle and inspect")
+    goto.add_argument("cycle", type=int)
+    goto.add_argument("--pages", action="store_true",
+                      help="list page tables in the recovered state")
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    recipe = get_scenario(args.scenario)
+    insp = Inspector.from_recipe(recipe)
+    try:
+        if args.command == "summary":
+            lines = render.format_summary(insp)
+        elif args.command == "tree":
+            lines = render.format_tree(insp.image, pages=args.pages)
+        elif args.command == "bt":
+            uids = [args.uid] if args.uid else insp.uids()
+            lines = []
+            for uid in uids:
+                lines.extend(render.format_backtrace(insp, uid,
+                                                     limit=args.limit))
+        elif args.command == "links":
+            lines = render.format_links(insp, at=args.at)
+        elif args.command == "diff":
+            lines = render.format_diff(
+                insp.diff(args.tag_a, args.tag_b), args.tag_a, args.tag_b)
+        elif args.command == "goto":
+            lines = render.format_goto(insp.goto(args.cycle),
+                                       pages=args.pages)
+        else:  # pragma: no cover - argparse enforces the choices
+            parser.error(f"unknown command {args.command!r}")
+    except (DebugApiError, ReplayDivergence) as exc:
+        print(f"repro.debug: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        insp.machine.close()
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

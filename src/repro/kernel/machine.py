@@ -301,6 +301,17 @@ class Machine:
         """Build the guest API handle for a space (engine callback)."""
         return Guest(self.kernel, space)
 
+    def find_space(self, uid):
+        """The space with trace context id ``uid``, or None.  Uids name
+        trace segments, so this is the bridge from a scheduling artifact
+        back to the live kernel object (``repro.debug``)."""
+        if self.root is None:
+            return None
+        for space in self.root.walk():
+            if space.uid == uid:
+                return space
+        return None
+
     # -- running -----------------------------------------------------------
 
     def run(self, entry, args=(), limit=None):

@@ -105,6 +105,23 @@ class Space:
         for num in sorted(self.children):
             yield from self.children[num].walk()
 
+    def slot_path(self):
+        """Child numbers from the root down to this space (``[]`` for
+        the root) — the address a parent chain uses to reach it, and the
+        symbolic name the debugger prints next to the uid."""
+        path, space = [], self
+        while space.parent is not None:
+            for num, child in space.parent.children.items():
+                if child is space:
+                    path.append(num)
+                    break
+            else:
+                raise KernelError(
+                    f"space {self.uid} detached from parent {space.parent.uid}")
+            space = space.parent
+        path.reverse()
+        return path
+
     # -- state -------------------------------------------------------------
 
     def is_stopped(self):

@@ -32,6 +32,15 @@ from repro.common.errors import RuntimeApiError
 #: Default child slot that hosts the freezer space.
 FREEZER_SLOT = 0xF000
 
+#: Freezer-space register that mirrors the tag -> child-number map.  The
+#: freezer is pure storage (never started, never Tree-copied), so its
+#: register file is free metadata space; the mirror makes a finished
+#: machine's checkpoints enumerable *post mortem* (``repro.debug``)
+#: without access to the live :class:`Checkpointer`.  Written host-side
+#: — like :meth:`Checkpointer.drop`'s direct ``destroy()`` — so keeping
+#: the directory costs no virtual time.
+TAG_REGISTER = "r7"
+
 
 class Checkpointer:
     """Manage frozen images of one space's children.
@@ -62,6 +71,14 @@ class Checkpointer:
         self._save_tokens = {}
         # Materialize the freezer space (never started; pure storage).
         g.put(freezer_slot)
+        self._publish_tags()
+
+    def _publish_tags(self):
+        """Mirror the tag directory into the freezer space's
+        :data:`TAG_REGISTER` (host-side; see the constant's docstring)."""
+        freezer = self.g.space.children.get(self.freezer_slot)
+        if freezer is not None:
+            freezer.regs[TAG_REGISTER] = dict(self._tags)
 
     def _record_delta(self, child_slot, tag):
         """Record the dirty delta since the previous save of this slot."""
@@ -105,6 +122,7 @@ class Checkpointer:
         # record a delta for a checkpoint that never existed.
         self._record_delta(child_slot, tag)
         self._tags[tag] = tagno
+        self._publish_tags()
         return tag
 
     def restore(self, child_slot, tag):
@@ -127,10 +145,49 @@ class Checkpointer:
         frozen = freezer.children.get(tagno) if freezer else None
         if frozen is not None:
             frozen.destroy()
+        self._publish_tags()
 
     def tags(self):
         """Currently saved checkpoint tags, in save order."""
         return sorted(self._tags, key=self._tags.get)
+
+
+# -- post-mortem enumeration (the debugger's entry points) -----------------
+
+def find_freezers(root):
+    """Every (owner_space, freezer_space) pair under ``root``.
+
+    A freezer is recognized by its :data:`TAG_REGISTER` directory (a
+    dict), which :class:`Checkpointer` maintains from construction on —
+    so an empty freezer is still found.  Walk order is deterministic
+    (depth-first, children by number).
+    """
+    out = []
+    for space in root.walk():
+        for num in sorted(space.children):
+            child = space.children[num]
+            if isinstance(child.regs.get(TAG_REGISTER), dict):
+                out.append((space, child))
+    return out
+
+
+def checkpoint_tags(freezer):
+    """Tags saved in ``freezer``, in save order (tagno order)."""
+    directory = freezer.regs.get(TAG_REGISTER)
+    if not isinstance(directory, dict):
+        raise RuntimeApiError(
+            f"space {freezer.uid} carries no checkpoint directory")
+    return sorted(directory, key=directory.get)
+
+
+def frozen_image(freezer, tag):
+    """The frozen :class:`~repro.kernel.space.Space` saved under ``tag``."""
+    directory = freezer.regs.get(TAG_REGISTER)
+    tagno = directory.get(tag) if isinstance(directory, dict) else None
+    frozen = freezer.children.get(tagno) if tagno is not None else None
+    if frozen is None:
+        raise RuntimeApiError(f"no checkpoint tagged {tag!r}")
+    return frozen
 
 
 def run_with_checkpoints(g, entry, args=(), quantum=1_000_000,

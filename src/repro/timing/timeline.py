@@ -1,0 +1,224 @@
+"""Cycle-addressable replay of a scheduled trace (the debugger's clock).
+
+:func:`repro.timing.schedule.schedule` answers *aggregate* questions —
+makespan, per-link occupancy, stall attribution.  The time-travel
+debugger needs *positional* ones: which segments were running at cycle
+N, which messages were on which wire, how far along was each link's
+retransmit ledger.  This module re-runs the **identical** greedy
+list-scheduling policy (same tie-breaking, same link-contention order
+as ``_schedule_list`` / the event core — the equivalence suite pins all
+three) but keeps every per-transfer interval instead of folding it into
+totals, so any cycle of the schedule can be queried after the fact.
+
+A :class:`Timeline` is a pure function of the trace and the CPU
+configuration: building it twice, or on a replayed trace, yields the
+same intervals bit for bit — which is what lets ``repro.debug links
+--at N`` describe a finished run's wire state at an arbitrary cycle
+without having recorded anything during the run.
+"""
+
+import heapq
+from collections import defaultdict
+
+
+class TransferInterval:
+    """One link transfer placed on the schedule's timeline.
+
+    ``start`` is when the transfer won its link, ``end = start + busy``
+    when it released it, ``arrival = end + latency`` when the payload
+    reached the destination segment.  ``src``/``dst`` are segment ids.
+    """
+
+    __slots__ = ("src", "dst", "link", "start", "end", "arrival", "cls",
+                 "kind")
+
+    def __init__(self, src, dst, link, start, end, arrival, cls, kind):
+        self.src = src
+        self.dst = dst
+        self.link = link
+        self.start = start
+        self.end = end
+        self.arrival = arrival
+        self.cls = cls
+        self.kind = kind
+
+    def occupies_at(self, cycle):
+        """True while the transfer holds its link (serialization)."""
+        return self.start <= cycle < self.end
+
+    def in_flight_at(self, cycle):
+        """True from winning the link until the payload arrives."""
+        return self.start <= cycle < self.arrival
+
+    def __repr__(self):
+        return (f"<Transfer {self.src}->{self.dst} link={self.link} "
+                f"[{self.start}, {self.end})+{self.arrival - self.end} "
+                f"kind={self.kind}>")
+
+
+class Timeline:
+    """Per-segment and per-transfer intervals of one scheduled trace.
+
+    Attributes
+    ----------
+    start / finish:
+        segment id -> scheduled start / finish time.
+    transfers:
+        :class:`TransferInterval` list in link-grant order.
+    makespan:
+        Identical to ``schedule(trace, ...).makespan`` (asserted by the
+        timeline test suite).
+    """
+
+    def __init__(self, trace, ncpus=1, cpus_per_node=None):
+        self.trace = trace
+        self.transfers = []
+        self.start = {}
+        self.finish = {}
+        self.makespan = 0
+        self._replay(trace, ncpus, cpus_per_node or {})
+
+    # -- construction (the _schedule_list policy, instrumented) -----------
+
+    def _replay(self, trace, ncpus, cpus_per_node):
+        segments = trace.segments
+        if not segments:
+            return
+
+        npreds = [0] * len(segments)
+        succs = defaultdict(list)
+        for src, dst, latency in trace.edges:
+            npreds[dst] += 1
+            succs[src].append((dst, latency, None, 0, None, None))
+        for src, dst, link, busy, latency, cls, kind in trace.transfers:
+            npreds[dst] += 1
+            succs[src].append((dst, latency, link, busy, cls, kind))
+        link_free = {}
+
+        def node_cpus(node):
+            return cpus_per_node.get(node, ncpus)
+
+        free = defaultdict(int)
+        seen_nodes = set()
+        ready = defaultdict(list)
+        ready_at = [0] * len(segments)
+        start, finish = self.start, self.finish
+        events = []
+        order = 0
+
+        def ensure_node(node):
+            if node not in seen_nodes:
+                seen_nodes.add(node)
+                free[node] = node_cpus(node)
+
+        def make_ready(time, seg_id):
+            seg = segments[seg_id]
+            ensure_node(seg.node)
+            heapq.heappush(ready[seg.node], seg_id)
+            dispatch(time, seg.node)
+
+        def dispatch(time, node):
+            nonlocal order
+            while free[node] > 0 and ready[node]:
+                seg_id = heapq.heappop(ready[node])
+                free[node] -= 1
+                start[seg_id] = time
+                order += 1
+                heapq.heappush(
+                    events, (time + segments[seg_id].cycles, order,
+                             "finish", seg_id))
+
+        for seg_id in (i for i, n in enumerate(npreds) if n == 0):
+            make_ready(0, seg_id)
+
+        now = 0
+        while events:
+            now, _, kind, seg_id = heapq.heappop(events)
+            if kind == "arrive":
+                make_ready(now, seg_id)
+                continue
+            seg = segments[seg_id]
+            finish[seg_id] = now
+            free[seg.node] += 1
+            for dst, latency, link, xfer_busy, cls, xkind in succs[seg_id]:
+                npreds[dst] -= 1
+                if link is None:
+                    arrival = now + latency
+                else:
+                    xfer_start = max(now, link_free.get(link, 0))
+                    xfer_end = xfer_start + xfer_busy
+                    link_free[link] = xfer_end
+                    arrival = xfer_end + latency
+                    self.transfers.append(TransferInterval(
+                        seg_id, dst, link, xfer_start, xfer_end, arrival,
+                        cls, xkind))
+                ready_at[dst] = max(ready_at[dst], arrival)
+                if npreds[dst] == 0:
+                    if ready_at[dst] > now:
+                        heapq.heappush(
+                            events,
+                            (ready_at[dst], 10**9 + dst, "arrive", dst))
+                    else:
+                        make_ready(now, dst)
+            dispatch(now, seg.node)
+
+        unscheduled = len(segments) - len(finish)
+        if unscheduled:
+            raise ValueError(
+                f"trace contains a cycle or dangling dependency; "
+                f"{unscheduled} segments never ran")
+        self.makespan = now
+
+    # -- cycle-addressed queries -------------------------------------------
+
+    def running_at(self, cycle):
+        """Segments occupying a CPU at ``cycle`` (started, not finished),
+        sorted by segment id."""
+        return sorted(
+            seg_id for seg_id, t0 in self.start.items()
+            if t0 <= cycle < self.finish[seg_id])
+
+    def in_flight_at(self, cycle):
+        """Transfers on the wire at ``cycle`` (won their link, payload
+        not yet arrived), in link-grant order."""
+        return [t for t in self.transfers if t.in_flight_at(cycle)]
+
+    def link_busy_until(self, cycle):
+        """link -> serialization cycles accumulated up to ``cycle``
+        (transfers in progress contribute their elapsed part)."""
+        busy = {}
+        for t in self.transfers:
+            if t.start >= cycle:
+                continue
+            busy[t.link] = busy.get(t.link, 0) + min(t.end, cycle) - t.start
+        return busy
+
+    def kind_counts_until(self, cycle, kind=None):
+        """transfer kind -> transfers whose serialization started by
+        ``cycle`` (``kind=`` filters to one; the retransmit ledger's
+        progress counter is ``kind="retx"``)."""
+        counts = {}
+        for t in self.transfers:
+            if t.start < cycle and (kind is None or t.kind == kind):
+                counts[t.kind] = counts.get(t.kind, 0) + 1
+        return counts
+
+    def segment_at(self, cycle):
+        """The latest-finishing segment with ``finish <= cycle`` (ties:
+        highest id), or None — the debugger's ``goto`` anchor."""
+        best = None
+        for seg_id, t1 in self.finish.items():
+            if t1 <= cycle and (best is None or (t1, seg_id) > best):
+                best = (t1, seg_id)
+        return None if best is None else best[1]
+
+    def closed_by(self, cycle):
+        """Ids of all segments with ``finish <= cycle`` — the event set
+        ``goto`` replays through (state *at* cycle N means: every
+        segment the schedule completed by N has run)."""
+        return {seg_id for seg_id, t1 in self.finish.items() if t1 <= cycle}
+
+    def __repr__(self):
+        return (f"<Timeline segments={len(self.finish)} "
+                f"transfers={len(self.transfers)} "
+                f"makespan={self.makespan}>")

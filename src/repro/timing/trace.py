@@ -58,6 +58,14 @@ class Trace:
         self._open = {}   # uid -> Segment
         self._last = {}   # uid -> last closed Segment
         self._cum = {}    # uid -> cycles of all *closed* segments
+        #: Optional observer called with each segment the moment it
+        #: closes (``cut``/``sleep``/``end``), *after* the trace's own
+        #: bookkeeping.  The time-travel debugger's ``goto`` uses it to
+        #: capture machine state at a precise point of a replay; the
+        #: observer must not mutate the trace (it would perturb the very
+        #: replay it is observing).  ``None`` (the default) costs one
+        #: attribute test per close.
+        self.on_close = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -87,6 +95,8 @@ class Trace:
         self.segments.append(opened)
         self._open[uid] = opened
         self.edges.append((closed.id, opened.id, 0))
+        if self.on_close is not None:
+            self.on_close(closed)
         return closed, opened
 
     def sleep(self, uid, cycles, label=""):
@@ -110,6 +120,8 @@ class Trace:
         self.segments.append(opened)
         self._open[uid] = opened
         self.edges.append((closed.id, opened.id, cycles))
+        if self.on_close is not None:
+            self.on_close(closed)
         return closed, opened
 
     def end(self, uid):
@@ -118,6 +130,8 @@ class Trace:
         closed.closed = True
         self._last[uid] = closed
         self._cum[uid] = self._cum.get(uid, 0) + closed.cycles
+        if self.on_close is not None:
+            self.on_close(closed)
         return closed
 
     # -- queries -------------------------------------------------------------
