@@ -37,6 +37,17 @@ SMOKE = {
         ["python", "examples/distributed_md5.py", "--smoke"],
     "PYTHONPATH=src python -m repro.bench fig4": None,
     "PYTHONPATH=src python -m repro.bench serving": None,
+    # docs/backends.md — the backend-aware artifacts are deterministic
+    # and fast on both backends, so they run verbatim (drift in the
+    # --backend flag or the artifact names fails here); the real-
+    # backend runs skip silently only via the artifact's own gates.
+    "PYTHONPATH=src python -m repro.bench md5": None,
+    "PYTHONPATH=src python -m repro.bench md5 --backend=real": None,
+    "PYTHONPATH=src python -m repro.bench serving --backend=real": None,
+    "PYTHONPATH=src python -m pytest tests/cluster/test_backend_oracle.py "
+    "-q":
+        ["python", "-m", "pytest", "tests/cluster/test_backend_oracle.py",
+         "-q", "--collect-only"],
     "python benchmarks/check_regression.py":
         ["python", "benchmarks/check_regression.py", "--help"],
     "python benchmarks/check_docs.py":
@@ -70,10 +81,13 @@ REQUIRED = {
         "PYTHONPATH=src python -m repro.debug goto 345806",
         "PYTHONPATH=src python examples/fault_tolerance.py",
     },
+    "docs/backends.md": {
+        "PYTHONPATH=src python -m repro.bench md5 --backend=real",
+    },
 }
 
 #: Documents scanned by default.
-DEFAULT_DOCS = ("README.md", "docs/debugging.md")
+DEFAULT_DOCS = ("README.md", "docs/debugging.md", "docs/backends.md")
 
 _FENCE = re.compile(r"^```(?:ba)?sh\s*$")
 

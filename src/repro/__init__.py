@@ -44,6 +44,7 @@ Quickstart::
 """
 
 from repro.common.errors import (
+    BackendError,
     DeadlockError,
     FileConflictError,
     FileSystemError,
@@ -51,8 +52,10 @@ from repro.common.errors import (
     MergeConflictError,
     ReproError,
     RuntimeApiError,
+    WireError,
 )
 from repro.kernel import Machine, MachineResult, Trap, child_ref
+from repro.cluster.backend import RealRunResult, run_backend, run_real
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
 from repro.cluster.serving import ServingResult, serve_trace
 from repro.cluster.spec import ClusterSpec
@@ -71,9 +74,14 @@ __all__ = [
     "sweep_nodes",
     "serve_trace",
     "ServingResult",
+    "RealRunResult",
+    "run_backend",
+    "run_real",
     "CostModel",
     "ReproError",
     "KernelError",
+    "BackendError",
+    "WireError",
     "MergeConflictError",
     "RuntimeApiError",
     "FileSystemError",

@@ -4,6 +4,7 @@
     python -m repro.bench fig7 fig11      # selected artifacts
     python -m repro.bench --list
     python -m repro.bench --profile fig11 # + cProfile hotspot report
+    python -m repro.bench md5 --backend=real   # real host processes
 
 Prints each figure/table as an aligned text series (the same generators
 the ``benchmarks/`` suite asserts against).  With ``--profile`` each
@@ -31,7 +32,38 @@ def _fig4():
     return "\n".join(lines)
 
 
-def _serving():
+def _md5(backend="sim"):
+    """The md5-circuit workload on either backend: identical computed
+    value and memory image, measured wall-clock next to simulated
+    cycles (the real backend's own timing column)."""
+    from repro.bench.cluster_workloads import md5_circuit_main
+    from repro.cluster.backend import image_digest, run_backend
+    from repro.cluster.spec import ClusterSpec
+
+    result = run_backend(md5_circuit_main(3), nnodes=4,
+                         spec=ClusterSpec(backend=backend))
+    lines = [
+        f"md5-circuit: 4 nodes, length 3, backend={backend}",
+        f"  found plaintext       {result.value}",
+        f"  image digest          {image_digest(result.image)[:16]}",
+        f"  simulated makespan    {result.makespan:>14,} cycles",
+        f"  measured wall-clock   {result.wall_seconds:>14.3f} s",
+    ]
+    if backend == "real":
+        stats = result.shard_stats
+        verdict = "ok" if result.wire_ok else "VIOLATED"
+        lines.append(
+            f"  real processes        forked={stats['forked']} "
+            f"adopted={stats['adopted']} fallbacks={stats['fallbacks']}")
+        lines.append(
+            f"  real wire             {len(result.wire)} links, "
+            f"conservation {verdict}")
+    return "\n".join(lines) + "\n\n" + result.network.summary()
+
+
+def _serving(backend="sim"):
+    if backend == "real":
+        return _serving_real()
     result = figures.figure_serving()
     cdf = figures.format_series(
         "Serving: latency CDF (cycles at percentile, 4 nodes)",
@@ -42,8 +74,32 @@ def _serving():
     return cdf + "\n\n" + metrics
 
 
+def _serving_real():
+    """A compact serving trace on the real backend: same latency table
+    as the simulation, plus the measured wall-clock."""
+    from repro.cluster.serving import serve_trace
+    from repro.cluster.spec import ClusterSpec
+
+    start = time.perf_counter()
+    result = serve_trace(4, spec=ClusterSpec(backend="real"), requests=48)
+    wall = time.perf_counter() - start
+    return "\n".join([
+        "Serving: 48-request open-loop trace, 4 nodes, backend=real",
+        f"  p50 / p95 / p99       {result.p50:,} / {result.p95:,} / "
+        f"{result.p99:,} cycles",
+        f"  goodput               {result.goodput} req/Gcycle",
+        f"  simulated span        {result.span:>14,} cycles",
+        f"  measured wall-clock   {wall:>14.3f} s",
+        f"  response checksum     {result.checksum}",
+    ])
+
+
+#: Artifacts that accept a --backend argument.
+BACKEND_AWARE = {"md5", "serving"}
+
 ARTIFACTS = {
     "fig4": _fig4,
+    "md5": _md5,
     "serving": _serving,
     "fig7": lambda: figures.format_series(
         "Figure 7: Determinator relative to Linux (>1 = faster)",
@@ -80,6 +136,11 @@ def main(argv=None):
                         help="run each artifact under cProfile; dump "
                              "pstats to benchmarks/out/ and print the "
                              "top cumulative-time entries")
+    parser.add_argument("--backend", choices=("sim", "real"), default="sim",
+                        help="execution backend for the backend-aware "
+                             f"artifacts ({', '.join(sorted(BACKEND_AWARE))})"
+                             ": 'sim' (modeled wire) or 'real' (host "
+                             "processes + localhost sockets)")
     args = parser.parse_args(argv)
     if args.list:
         print("\n".join(ARTIFACTS))
@@ -88,11 +149,22 @@ def main(argv=None):
     unknown = [name for name in selected if name not in ARTIFACTS]
     if unknown:
         parser.error(f"unknown artifacts: {', '.join(unknown)}")
+    if args.backend != "sim":
+        unaware = [name for name in selected if name not in BACKEND_AWARE]
+        if unaware:
+            parser.error(
+                f"--backend={args.backend} applies only to "
+                f"{sorted(BACKEND_AWARE)}; got {', '.join(unaware)}")
     for name in selected:
         start = time.time()
+        if name in BACKEND_AWARE:
+            def artifact(name=name):
+                return ARTIFACTS[name](args.backend)
+        else:
+            artifact = ARTIFACTS[name]
         if args.profile:
             profiler = cProfile.Profile()
-            print(profiler.runcall(ARTIFACTS[name]))
+            print(profiler.runcall(artifact))
             out_dir = os.path.join("benchmarks", "out")
             os.makedirs(out_dir, exist_ok=True)
             stats_path = os.path.join(out_dir, f"profile_{name}.pstats")
@@ -101,7 +173,7 @@ def main(argv=None):
             stats.sort_stats("cumulative").print_stats(12)
             print(f"[profile: {stats_path}]")
         else:
-            print(ARTIFACTS[name]())
+            print(artifact())
         print(f"[{name}: {time.time() - start:.1f}s]\n")
     return 0
 

@@ -31,6 +31,13 @@ owns *how* it crosses and what that costs:
   program-visible node numbers onto fabric nodes: ``round_robin``
   stripes across racks, ``locality`` packs by communication affinity
   using the transport's live per-link stats;
+* the real-process backend (:mod:`repro.cluster.backend` over
+  :mod:`repro.cluster.realnet`) — ``ClusterSpec(backend="real")`` runs
+  each cluster-node subtree in a real host process with the protocol's
+  typed messages framed over real localhost sockets; the simulated run
+  stays the bit-identical oracle for values, memory images, and
+  ledgers, while measured wall-clock joins simulated cycles as a
+  second timing column (:func:`run_real`, :class:`RealRunResult`);
 * :class:`Cluster` — construct, run and time a multi-node machine with
   one call;
 * :class:`NetworkStats` — traffic accounting derived from the
@@ -43,6 +50,13 @@ owns *how* it crosses and what that costs:
 """
 
 from repro.cluster.network import NetworkStats
+from repro.cluster.backend import (
+    RealRunResult,
+    RealShardCoordinator,
+    image_digest,
+    run_backend,
+    run_real,
+)
 from repro.cluster.cluster import Cluster, ClusterResult, sweep_nodes
 from repro.cluster.control import Controller, resolve_control
 from repro.cluster.faults import LossSchedule, RetxBill, resolve_loss
@@ -70,6 +84,8 @@ from repro.cluster.transport import (
 
 __all__ = [
     "NetworkStats", "Cluster", "ClusterResult", "sweep_nodes",
+    "RealRunResult", "RealShardCoordinator", "image_digest",
+    "run_backend", "run_real",
     "LossSchedule", "RetxBill", "resolve_loss",
     "Controller", "resolve_control", "TelemetryWindow",
     "Transport", "MsgType", "LinkStats", "PrefetchExchange",

@@ -1,0 +1,643 @@
+"""Real-process execution backend (``ClusterSpec(backend="real")``).
+
+The simulated machine is deterministic end to end, so it can serve as
+an *exact oracle* for a backend where cluster nodes are real host
+processes and migration state moves over real sockets.  This module is
+that backend:
+
+* :class:`RealShardCoordinator` extends the fork/collect/adopt
+  machinery of ``repro.kernel.shard``: at a rendezvous, each never-run
+  sibling subtree is started in its own ``multiprocessing`` process
+  (one real host process per cluster-node subtree).  Instead of a raw
+  pickle pipe, the coordinator and each worker speak the cluster
+  protocol's typed messages — MIGRATE / PAGE_REQ / PAGE_BATCH / ACK —
+  as binary frames over a localhost socket (``repro.cluster.realnet``):
+  the forward migration offers the subtree's fork-time frames and
+  ships the requested pages (through the shared compression codec when
+  the machine compresses); the backward hand-back ships every frame
+  the run created the same way, with the shard delta riding the
+  MIGRATE control frame.  Workers compute on the wire-delivered bytes,
+  so a codec or framing bug diverges the cross-backend oracle instead
+  of hiding behind fork's copy-on-write.
+
+* Adoption is the *same* code as the simulated shard path, so computed
+  values, memory images, frame serials, trace segments, and every
+  simulated transport/conservation ledger come out bit-identical to
+  the serial simulated run — that is the differential oracle
+  (``tests/cluster/test_backend_oracle.py``).  What the real backend
+  adds is *measured wall-clock* (real parallelism across host
+  processes) next to the simulated cycle makespan, plus a real-wire
+  ledger per coordinator<->worker link with the same conservation
+  discipline (bytes sent == bytes received, checked from both ends).
+
+* Failures are typed, bounded, and clean: a worker that dies or hangs
+  mid-protocol surfaces a :class:`~repro.common.errors.BackendError`
+  within the channel deadline, every child process is terminated and
+  joined (nothing leaks past ``multiprocessing.active_children()``),
+  and the parent's simulated state is untouched — it was never mutated
+  before adoption.
+
+Entry points: :func:`run_backend` (dispatches on ``spec.backend``),
+:func:`run_real` (forces the real backend), :class:`RealRunResult`
+(value + image + ``NetworkStats`` + both timing columns), and
+:func:`image_digest` (a stable hash of a frozen machine image, for
+reporting cross-backend identity as one comparable line).
+"""
+
+import hashlib
+import multiprocessing
+import os
+import time
+import weakref
+from enum import Enum
+
+from repro.cluster import realnet
+from repro.cluster.compress import SCHEME_RAW, encode_page
+from repro.cluster.network import NetworkStats
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.transport import MsgType
+from repro.common.errors import BackendError, WireError
+from repro.debug.model import freeze_machine
+from repro.kernel.shard import (
+    _REPLAYABLE_PLACEMENTS,
+    ShardCoordinator,
+    _walk_page_slots,
+)
+from repro.mem.page import PAGE_SIZE
+
+COORD = realnet.COORD
+
+_EMPTY = {"frames": 0, "bytes": 0, "pages": 0}
+
+
+def _batched(items, size):
+    """``items`` in chunks of ``size`` (the cost model's scatter/gather
+    batch, replicated on the real wire)."""
+    size = max(1, size)
+    for i in range(0, len(items), size):
+        yield items[i:i + size]
+
+
+class RealShardCoordinator(ShardCoordinator):
+    """Shard coordinator whose workers are real host processes speaking
+    the cluster protocol over localhost sockets."""
+
+    #: A single sibling subtree is worth a real process (the simulated
+    #: coordinator needs >= 2 — inline is just as fast there).
+    MIN_SIBLINGS = 1
+
+    def __init__(self, machine, workers):
+        super().__init__(machine, max(1, workers))
+        problem = self._incompatibility(machine)
+        if problem is not None:
+            raise BackendError(f'backend="real" {problem}')
+        #: Per-exchange deadline (seconds): every socket operation and
+        #: every process join is bounded by it, so a dead or wedged
+        #: worker becomes a typed BackendError, never a hang.
+        self.deadline = realnet.DEFAULT_DEADLINE
+        #: Test hook: a worker-side crash point name (see _worker_main).
+        self.fault_inject = None
+        #: Set on abort: gates close, remaining subtrees run inline,
+        #: and the run surfaces a BackendError (see run_backend).
+        self.broken = False
+        self.broken_reason = ""
+        #: Real-wire ledgers: ``(src, dst) -> sender counts + receiver
+        #: counts`` per directed coordinator<->worker link.
+        self.wire_links = {}
+        self.wire_reports_missing = 0
+        self._listener = None
+        self._addr = None
+        self._next_index = 0
+        self._chan = {}     # worker index -> parent-side Channel
+        self._procs = {}    # worker index -> multiprocessing.Process
+
+    @staticmethod
+    def _incompatibility(machine):
+        """Why this machine cannot run on the real backend (None = ok).
+        Unlike the simulated shard's silent serial fallback, an
+        incompatible spec is a hard error: the caller asked for real
+        processes and would otherwise measure the wrong thing."""
+        if not hasattr(os, "fork"):
+            return "requires os.fork (POSIX hosts)"
+        if not realnet.localhost_available():
+            return "requires localhost TCP sockets"
+        if machine.loss is not None:
+            return ("is incompatible with loss schedules (fault injection "
+                    "keys off global message serials)")
+        if machine.ship_mode not in ("delta", "full"):
+            return (f'is incompatible with ship_mode='
+                    f'{machine.ship_mode!r} (demand paging reads '
+                    f'cross-subtree state)')
+        if machine.prefetch_depth != 0:
+            return "is incompatible with prefetch_depth > 0"
+        if machine.control is not None:
+            return "is incompatible with the adaptive control plane"
+        if machine.placement.name not in _REPLAYABLE_PLACEMENTS:
+            return (f"requires a replayable placement policy "
+                    f"{_REPLAYABLE_PLACEMENTS}, got "
+                    f"{machine.placement.name!r}")
+        return None
+
+    def _gates_open(self):
+        machine = self.machine
+        return (
+            not self.broken
+            and hasattr(os, "fork")
+            and machine.loss is None
+            and machine.ship_mode in ("delta", "full")
+            and machine.prefetch_depth == 0
+            and machine.control is None
+            and machine.placement.name in _REPLAYABLE_PLACEMENTS
+        )
+
+    # -- spawning ----------------------------------------------------------
+
+    def _spawn(self, caller, sibling):
+        if self._listener is None:
+            self._listener = realnet.listen(self.deadline)
+            self._addr = self._listener.getsockname()
+        index = self._next_index
+        self._next_index += 1
+        # fork start method: the worker inherits the machine image at
+        # this instant, exactly like the pipe coordinator's os.fork —
+        # the forking thread is the caller's guest thread, sole holder
+        # of the execution baton.
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=self._worker_main,
+                           args=(caller, sibling, index),
+                           name=f"repro-real-worker-{index}")
+        proc.start()
+        self._procs[index] = proc
+        return (sibling, index, proc)
+
+    def _wave_started(self, handles):
+        """Serve every worker's forward page exchange before collecting
+        any result: workers block on the forward pages at startup, so a
+        lazily served exchange would serialize the wave."""
+        expected = {index: sibling for sibling, index, _proc in handles}
+        try:
+            for _ in handles:
+                chan = realnet.accept(self._listener, self.deadline)
+                try:
+                    _, _, _, hello = chan.recv(expect=MsgType.ACK)
+                    index = hello.get("worker")
+                    sibling = expected.pop(index, None)
+                    if sibling is None:
+                        raise WireError(f"unexpected worker hello {hello!r}")
+                except BaseException:
+                    chan.close()
+                    raise
+                self._chan[index] = chan
+                self._serve_forward(chan, sibling, index)
+        except (WireError, OSError) as exc:
+            self._abort(f"forward exchange failed: {exc}")
+
+    def _serve_forward(self, chan, sibling, index):
+        """Offer the sibling's fork-time frames, ship what the worker
+        requests (everything, batched like the simulated scatter/gather)."""
+        snap = self.snapshots[sibling]
+        offer = sorted((serial, entry[2]) for serial, entry in snap.items())
+        chan.send(MsgType.MIGRATE, COORD, index,
+                  {"kind": "forward", "frames": offer, "uid": sibling.uid})
+        _, _, _, wanted = chan.recv(expect=MsgType.PAGE_REQ)
+        if list(wanted) != [serial for serial, _gen in offer]:
+            raise WireError(f"worker {index} requested pages outside "
+                            f"the forward offer")
+        frames = [(serial, snap[serial][0].generation,
+                   bytes(snap[serial][0].data)) for serial in wanted]
+        for chunk in _batched(frames, self.machine.cost.msg_batch):
+            chan.send(MsgType.PAGE_BATCH, COORD, index,
+                      self._encode_pages(chunk))
+        _, _, _, ack = chan.recv(expect=MsgType.ACK)
+        if ack.get("status") != "ok":
+            raise WireError(f"worker {index} rejected the forward "
+                            f"migration: {ack!r}")
+
+    def _encode_pages(self, frames):
+        """``(serial, generation, data)`` -> wire page tuples, through
+        the shared compression codec when the machine compresses."""
+        out = []
+        for serial, generation, data in frames:
+            if self.machine.compression:
+                scheme, payload = encode_page(bytes(data))
+            else:
+                scheme, payload = SCHEME_RAW, bytes(data)
+            out.append((serial, generation, scheme, payload))
+        return out
+
+    # -- worker (child process) --------------------------------------------
+
+    def _worker_main(self, caller, sibling, index):
+        """Runs in the forked worker process: receive the forward
+        migration over the wire, run the subtree, hand the delta back
+        as protocol frames.  Never unwinds into the cloned parent's
+        stack — multiprocessing's fork bootstrap ``os._exit``\\ s."""
+        if self._listener is not None:
+            self._listener.close()      # the child's inherited copy
+        chan = realnet.connect(self._addr, self.deadline)
+        try:
+            chan.send(MsgType.ACK, index, COORD,
+                      {"worker": index, "uid": sibling.uid})
+            self._receive_forward(chan, sibling, index)
+            payload = self._run_worker(caller, sibling)
+            if self.fault_inject == "die-before-handback":
+                os._exit(9)
+            self._send_handback(chan, payload, index)
+        finally:
+            chan.close()
+
+    def _receive_forward(self, chan, sibling, index):
+        """Request and install the offered fork-time frames.  The
+        installed bytes are what the subtree computes on: wire
+        corruption surfaces as an oracle divergence, not silently
+        masked by fork's copy-on-write."""
+        frames = {page.serial: page for page in _walk_page_slots(sibling)}
+        _, _, _, offer = chan.recv(expect=MsgType.MIGRATE)
+        offered = offer.get("frames", [])
+        wanted = [serial for serial, _gen in offered]
+        if sorted(wanted) != sorted(frames):
+            raise WireError("forward offer does not match the forked "
+                            "subtree's frames")
+        chan.send(MsgType.PAGE_REQ, index, COORD, wanted)
+        if self.fault_inject == "die-before-install":
+            os._exit(9)
+        installed = 0
+        while installed < len(wanted):
+            _, _, _, pages = chan.recv(expect=MsgType.PAGE_BATCH)
+            if not pages:
+                raise WireError("empty PAGE_BATCH in forward migration")
+            for serial, generation, scheme, payload in pages:
+                page = frames.get(serial)
+                if page is None or page.generation != generation:
+                    raise WireError(f"forward frame {serial} unknown or "
+                                    f"stale generation")
+                data = _decode_page(scheme, payload)
+                page.data[:] = data
+            installed += len(pages)
+        chan.send(MsgType.ACK, index, COORD, {"status": "ok"})
+
+    def _send_handback(self, chan, payload, index):
+        """Ship the run's delta: new frames' bytes as PAGE_BATCH frames,
+        the structural payload on the MIGRATE control frame, the wire
+        ledger on the final ACK."""
+        if payload is None:
+            chan.send(MsgType.MIGRATE, index, COORD, {"kind": "refused"})
+        else:
+            shipped = self._strip_pages(payload)
+            chan.send(MsgType.MIGRATE, index, COORD,
+                      {"kind": "result", "payload": payload,
+                       "npages": len(shipped)})
+            if self.fault_inject == "die-mid-handback":
+                os._exit(9)
+            for chunk in _batched(shipped, self.machine.cost.msg_batch):
+                chan.send(MsgType.PAGE_BATCH, index, COORD,
+                          self._encode_pages(chunk))
+        chan.send(MsgType.ACK, index, COORD,
+                  {"status": "done", "ledger": chan.ledger()})
+
+    def _strip_pages(self, payload):
+        """Detach page bytes from the hand-back payload: frames the run
+        created cross as PAGE_BATCH wire frames (returned here);
+        pre-fork frames' bytes never cross at all — adoption re-points
+        their slots at the parent's live frames."""
+        serial0 = self._base["serial"]
+        shipped = []
+        seen = set()
+        for page in _walk_page_slots(payload["spaces"]):
+            if id(page) in seen:
+                continue
+            seen.add(id(page))
+            if page.serial > serial0:
+                shipped.append((page.serial, page.generation,
+                                bytes(page.data)))
+            page.data = bytearray()
+        shipped.sort(key=lambda entry: entry[0])
+        return shipped
+
+    # -- collection (parent side) ------------------------------------------
+
+    def _collect(self, handle):
+        sibling, index, proc = handle
+        chan = self._chan.pop(index, None)
+        payload = None
+        try:
+            if chan is None:
+                raise WireError("worker never completed its forward "
+                                "exchange")
+            _, _, _, head = chan.recv(expect=MsgType.MIGRATE)
+            kind = head.get("kind")
+            if kind == "result":
+                payload = head["payload"]
+                wire_pages = {}
+                want = head.get("npages", 0)
+                while len(wire_pages) < want:
+                    _, _, _, pages = chan.recv(expect=MsgType.PAGE_BATCH)
+                    if not pages:
+                        raise WireError("empty PAGE_BATCH in hand-back")
+                    for serial, generation, scheme, data in pages:
+                        wire_pages[serial] = (generation,
+                                              _decode_page(scheme, data))
+                self._reattach(payload, wire_pages)
+            elif kind != "refused":
+                raise WireError(f"unexpected hand-back header {head!r}")
+            # The worker's ledger is snapshotted before its final ACK
+            # frame goes out, so conservation compares against the
+            # parent's receive counts at the same instant.
+            pre_ack = {link: dict(entry)
+                       for link, entry in chan.received.items()}
+            _, _, _, fin = chan.recv(expect=MsgType.ACK)
+            self._account(index, chan, fin.get("ledger"), pre_ack)
+        except (WireError, OSError) as exc:
+            self._abort(f"worker {index} ({sibling.uid}): {exc}")
+        finally:
+            if chan is not None:
+                chan.close()
+            self._join(index, proc)
+        return payload
+
+    def _reattach(self, payload, wire_pages):
+        """Restore the wire-shipped bytes into the unpickled hand-back
+        graph (generation-checked); pre-fork frames stay empty — the
+        shared adoption path re-points their slots at live frames."""
+        serial0 = self._base["serial"]
+        restored = 0
+        seen = set()
+        for page in _walk_page_slots(payload["spaces"]):
+            if id(page) in seen or page.serial <= serial0:
+                seen.add(id(page))
+                continue
+            seen.add(id(page))
+            entry = wire_pages.get(page.serial)
+            if entry is None:
+                raise WireError(f"frame {page.serial} missing from the "
+                                f"hand-back batches")
+            generation, data = entry
+            if generation != page.generation:
+                raise WireError(f"frame {page.serial} generation mismatch "
+                                f"on hand-back")
+            page.data = bytearray(data)
+            restored += 1
+        if restored != len(wire_pages):
+            raise WireError(f"hand-back shipped "
+                            f"{len(wire_pages) - restored} frames no "
+                            f"slot references")
+
+    def _account(self, index, chan, report, received):
+        """Fold one worker's final wire ledger into the per-link table:
+        each directed link records the sender's counts next to the
+        receiver's, so conservation is checked from both ends."""
+        if not isinstance(report, dict):
+            self.wire_reports_missing += 1
+            return
+        pairs = (
+            ((COORD, index), chan.sent, report.get("received", {})),
+            ((index, COORD), report.get("sent", {}), received),
+        )
+        for link, send_table, recv_table in pairs:
+            sent = send_table.get(link, _EMPTY)
+            received = recv_table.get(link, _EMPTY)
+            self.wire_links[link] = {
+                "frames": sent["frames"],
+                "bytes": sent["bytes"],
+                "pages": sent["pages"],
+                "frames_received": received["frames"],
+                "bytes_received": received["bytes"],
+                "pages_received": received["pages"],
+            }
+
+    def wire_conservation_ok(self):
+        """Every real link's receiver counts match its sender counts
+        (frames, bytes, and pages), and every worker reported."""
+        if self.wire_reports_missing:
+            return False
+        for entry in self.wire_links.values():
+            if (entry["frames"] != entry["frames_received"]
+                    or entry["bytes"] != entry["bytes_received"]
+                    or entry["pages"] != entry["pages_received"]):
+                return False
+        return True
+
+    # -- teardown ----------------------------------------------------------
+
+    def _join(self, index, proc):
+        proc.join(self.deadline)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(self.deadline)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+        self._procs.pop(index, None)
+
+    def _abort(self, reason):
+        """Tear down the whole backend — close every channel, terminate
+        and join every worker, discard all pending results — and raise.
+        The parent's simulated state is untouched (nothing mutates
+        before adoption), so surviving subtrees drain inline."""
+        self.broken = True
+        self.broken_reason = f"real backend aborted: {reason}"
+        for chan in self._chan.values():
+            chan.close()
+        self._chan.clear()
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for index, proc in list(self._procs.items()):
+            self._join(index, proc)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        self.pending.clear()
+        self.snapshots.clear()
+        raise BackendError(self.broken_reason)
+
+    def close(self):
+        """Machine-close teardown: nothing may outlive the machine."""
+        for chan in self._chan.values():
+            chan.close()
+        self._chan.clear()
+        for index, proc in list(self._procs.items()):
+            if proc.is_alive():
+                proc.terminate()
+            self._join(index, proc)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+def _decode_page(scheme, payload):
+    """Wire page -> exactly PAGE_SIZE bytes (anything else is a frame
+    corruption, not a valid page)."""
+    from repro.cluster.compress import decode_page
+    try:
+        data = decode_page(scheme, bytes(payload))
+    except Exception as exc:
+        raise WireError(f"page payload failed to decode: {exc}") from exc
+    if len(data) != PAGE_SIZE:
+        raise WireError(f"decoded page is {len(data)} bytes, "
+                        f"expected {PAGE_SIZE}")
+    return data
+
+
+# -- results & entry points -------------------------------------------------
+
+class RealRunResult:
+    """Outcome of :func:`run_backend`: the computed value, the frozen
+    machine image (captured before close — the cross-backend identity
+    artifact), the same :class:`NetworkStats` tables both backends
+    share, and both timing columns (simulated cycles + measured
+    wall-clock)."""
+
+    def __init__(self, machine, value, makespan, wall_seconds, image):
+        self.machine = machine
+        #: Which backend produced this ("sim" or "real").
+        self.backend = machine.backend
+        #: The workload's computed value (root r0) — backend-invariant.
+        self.value = value
+        #: Simulated completion time in virtual cycles — backend-
+        #: invariant (the real backend adopts the same trace).
+        self.makespan = makespan
+        #: Measured host wall-clock of the run — the real backend's own
+        #: timing column (never compared across backends).
+        self.wall_seconds = wall_seconds
+        #: Frozen machine image (spaces, regs, page bytes, per-link
+        #: simulated ledgers); equal across backends by construction.
+        self.image = image
+        #: The shared simulated traffic tables.
+        self.network = NetworkStats(machine)
+        shard = machine.shard
+        if isinstance(shard, RealShardCoordinator):
+            #: Real-backend extras: shard adoption counts and the
+            #: real-wire per-link ledgers with conservation verdict.
+            self.shard_stats = {"forked": shard.forked,
+                                "adopted": shard.adopted,
+                                "fallbacks": shard.fallbacks}
+            self.wire = {link: dict(entry)
+                         for link, entry in shard.wire_links.items()}
+            self.wire_ok = shard.wire_conservation_ok()
+        else:
+            self.shard_stats = None
+            self.wire = {}
+            self.wire_ok = None
+
+    def __repr__(self):
+        return (f"<RealRunResult backend={self.backend!r} "
+                f"value={self.value!r} makespan={self.makespan} "
+                f"wall={self.wall_seconds:.3f}s>")
+
+
+#: entry_builder -> {nnodes: wrapper}.  The wrapper lands in the root's
+#: registers, and the cross-backend oracle compares register dicts by
+#: value — sharing one wrapper per (builder, nnodes) makes two runs of
+#: the same workload carry the *same* entry object, so frozen images
+#: compare equal without canonicalizing away the registers.
+_MAIN_CACHE = weakref.WeakKeyDictionary()
+
+
+def _main_for(entry_builder, nnodes):
+    def main(g):
+        return entry_builder(g, nnodes)
+    try:
+        per_builder = _MAIN_CACHE.setdefault(entry_builder, {})
+    except TypeError:           # unweakrefable callable: no sharing
+        return main
+    return per_builder.setdefault(nnodes, main)
+
+
+def run_backend(entry_builder, nnodes, spec=None, configure=None, **knobs):
+    """Run ``entry_builder(g, nnodes)`` on ``spec.backend`` and return a
+    :class:`RealRunResult` (both backends return the same shape, so the
+    differential oracle is a field-by-field comparison).
+
+    ``configure(machine)``, when given, runs after construction and
+    before the workload — the test hook for deadlines and fault
+    injection.
+    """
+    from repro.kernel.machine import Machine
+    spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
+    machine = Machine(nnodes=nnodes, spec=spec)
+    if configure is not None:
+        configure(machine)
+    main = _main_for(entry_builder, nnodes)
+    start = time.perf_counter()
+    with machine:
+        result = machine.run(main)
+        wall = time.perf_counter() - start
+        shard = machine.shard
+        if shard is not None and getattr(shard, "broken", False):
+            raise BackendError(shard.broken_reason)
+        if result.trap.name not in ("EXIT", "RET"):
+            info = result.trap_info or ""
+            if info.startswith(("BackendError", "WireError")):
+                raise BackendError(info)
+            raise RuntimeError(
+                f"cluster workload faulted: {result.trap.name} {info}")
+        cpus = {node: spec.cpus_per_node for node in range(nnodes)}
+        makespan = result.makespan(cpus_per_node=cpus)
+        # Freeze before close: Machine.close destroys the space tree.
+        image = freeze_machine(machine)
+        return RealRunResult(machine, result.r0, makespan, wall, image)
+
+
+def run_real(entry_builder, nnodes, spec=None, configure=None, **knobs):
+    """:func:`run_backend` with the real backend forced on."""
+    spec = ClusterSpec.from_kwargs(spec=spec, **knobs)
+    if spec.backend != "real":
+        spec = spec.with_(backend="real")
+    return run_backend(entry_builder, nnodes, spec=spec,
+                       configure=configure)
+
+
+# -- image digest -----------------------------------------------------------
+
+def _canon(value):
+    """Deterministic canonical string of an image field.  Callables
+    (guest entry functions living in regs) canonicalize by qualified
+    name — identical across backends, stable across runs (no memory
+    addresses)."""
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, bytearray):
+        return repr(bytes(value))
+    if isinstance(value, Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canon(item) for item in value) + ")"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canon(item) for item in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ",".join(f"{_canon(k)}:{_canon(v)}"
+                              for k, v in items) + "}"
+    if callable(value):
+        return f"<{getattr(value, '__qualname__', type(value).__name__)}>"
+    return f"<{type(value).__qualname__}>"
+
+
+def image_digest(image):
+    """A stable sha256 over a frozen :class:`MachineImage`: equal images
+    hash equal on any backend and any run, so cross-backend identity
+    reports as one comparable hex line."""
+    digest = hashlib.sha256()
+
+    def feed(*parts):
+        for part in parts:
+            digest.update(_canon(part).encode())
+            digest.update(b"\x00")
+
+    for space in image.spaces():
+        feed(space.uid, space.path, space.state, space.trap,
+             space.trap_info, space.home_node, space.cur_node,
+             space.insn_limit, space.dirty_tracking,
+             space.dirty_page_count, space.snapshot_vpns)
+        for name in sorted(space.regs):
+            feed(name, space.regs[name])
+        for vpn in sorted(space.pages):
+            page = space.pages[vpn]
+            feed(vpn, page.tag, page.perm)
+            digest.update(bytes(page.data))
+    feed(image.console, image.debug, image.node_map, image.pages_fetched,
+         image.inflight)
+    for link, stats in image.links.items():
+        feed(link, stats)
+    return digest.hexdigest()

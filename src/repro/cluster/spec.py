@@ -43,6 +43,9 @@ from repro.timing.model import CostModel
 #: Migration page-shipping policies (see repro.cluster.transport).
 SHIP_MODES = ("delta", "full", "demand")
 
+#: Execution backends (see repro.cluster.backend and docs/backends.md).
+BACKENDS = ("sim", "real")
+
 
 @dataclass(frozen=True)
 class ClusterSpec:
@@ -80,6 +83,10 @@ class ClusterSpec:
     control: object = None
     #: Forked host workers for sibling subtrees (< 2 disables).
     shard_workers: int = 0
+    #: Execution backend: "sim" (one process, modeled wire — the
+    #: oracle) or "real" (host processes + localhost sockets, measured
+    #: wall-clock; see repro.cluster.backend and docs/backends.md).
+    backend: str = "sim"
 
     def __post_init__(self):
         object.__setattr__(self, "tcp_mode", bool(self.tcp_mode))
@@ -97,6 +104,9 @@ class ClusterSpec:
         if not isinstance(self.shard_workers, int) or self.shard_workers < 0:
             raise ValueError(f"shard_workers must be a non-negative int, "
                              f"got {self.shard_workers!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r} "
+                             f"(expected one of {BACKENDS})")
         if self.cost is not None and not isinstance(self.cost, CostModel):
             raise ValueError(f"cost must be a CostModel or None, "
                              f"got {self.cost!r}")

@@ -85,6 +85,25 @@ class NetworkLossError(KernelError):
     """
 
 
+class BackendError(KernelError):
+    """The real-process backend (``ClusterSpec(backend="real")``) failed
+    outside the simulated semantics: an incompatible spec, a worker
+    process that died or hung mid-protocol, or a wire-level failure.
+
+    The simulated state is never half-mutated by one of these — the
+    coordinator aborts before adoption — but the run's results are
+    gone, so the error propagates to the caller instead of falling
+    back silently.
+    """
+
+
+class WireError(BackendError):
+    """A malformed, truncated, corrupted, or timed-out frame on the real
+    socket wire (``repro.cluster.realnet``).  Always raised as a typed
+    error within the channel deadline — never a hang, never a raw
+    ``struct``/``pickle``/``socket`` exception."""
+
+
 class GuestKilled(BaseException):
     """Injected into a guest thread to unwind it when its space is destroyed.
 

@@ -192,12 +192,24 @@ class Machine:
         self.control = spec.resolve_control()
         if self.control is not None:
             self.control.reset(self)
+        #: Which execution backend this machine runs under ("sim" or
+        #: "real"); results are bit-identical, only timing differs.
+        self.backend = spec.backend
         #: Sharded host execution (repro.kernel.shard): at a rendezvous
         #: with >= 2 never-run READY siblings, fork up to this many
         #: host processes and run the sibling subtrees concurrently,
         #: adopting each result bit-identically where the serial engine
         #: would have run it.  0 or 1 keeps the serial engine alone.
-        if spec.shard_workers >= 2:
+        #: Under backend="real" the workers are real host processes
+        #: speaking the cluster protocol over localhost sockets
+        #: (repro.cluster.backend), one per cluster-node subtree by
+        #: default.
+        if spec.backend == "real":
+            from repro.cluster.backend import RealShardCoordinator
+            workers = spec.shard_workers if spec.shard_workers >= 1 \
+                else max(1, nnodes)
+            self.shard = RealShardCoordinator(self, workers)
+        elif spec.shard_workers >= 2:
             from repro.kernel.shard import ShardCoordinator
             self.shard = ShardCoordinator(self, spec.shard_workers)
         else:
@@ -383,6 +395,8 @@ class Machine:
             return
         self._closed = True
         self.engine.shutdown()
+        if self.shard is not None:
+            self.shard.close()
         if self.root is not None:
             self.root.destroy()
 

@@ -99,6 +99,12 @@ def _uid_index(uid):
 class ShardCoordinator:
     """Fork/collect/adopt state machine attached to one Machine."""
 
+    #: Fewest never-run READY siblings worth sharding.  The pipe-based
+    #: coordinator needs >= 2 (one sibling runs inline just as fast);
+    #: the real-process backend overrides to 1 — a single subtree in a
+    #: separate host process is exactly the point there.
+    MIN_SIBLINGS = 2
+
     def __init__(self, machine, workers):
         self.machine = machine
         #: Maximum forked workers alive at once (wave size).
@@ -141,7 +147,7 @@ class ShardCoordinator:
             c for c in caller.children.values()
             if c.state is SpaceState.READY and (c.ctx is None or c.ctx.dead)
         ]
-        if len(siblings) < 2 or child not in siblings:
+        if len(siblings) < self.MIN_SIBLINGS or child not in siblings:
             return False
         self._fork_all(caller, siblings)
         return self.execute(caller, child)
@@ -179,10 +185,26 @@ class ShardCoordinator:
             }
         for i in range(0, len(siblings), self.workers):
             wave = siblings[i:i + self.workers]
-            procs = [(sib, *self._fork_worker(caller, sib)) for sib in wave]
-            for sib, pid, rfd in procs:
-                self.pending[sib] = self._collect(pid, rfd)
+            handles = [self._spawn(caller, sib) for sib in wave]
+            self._wave_started(handles)
+            for handle in handles:
+                self.pending[handle[0]] = self._collect(handle)
                 self.forked += 1
+
+    def _spawn(self, caller, sibling):
+        """Start one worker for ``sibling``; returns an opaque handle
+        whose first element is the sibling (backends extend the rest)."""
+        pid, rfd = self._fork_worker(caller, sibling)
+        return (sibling, pid, rfd)
+
+    def _wave_started(self, handles):
+        """Hook between a wave's last spawn and its first collect; the
+        real backend serves the forward page exchanges here so workers
+        start computing concurrently."""
+
+    def close(self):
+        """Release backend resources at machine close (no-op here: pipe
+        workers are always joined inside ``_fork_all``)."""
 
     def _fork_worker(self, caller, sibling):
         """Fork a worker that runs ``sibling`` and writes its pickled
@@ -215,8 +237,9 @@ class ShardCoordinator:
         os.close(wfd)
         return pid, rfd
 
-    def _collect(self, pid, rfd):
+    def _collect(self, handle):
         """Read one worker's payload; None on any shortfall."""
+        _sibling, pid, rfd = handle
         try:
             chunks = []
             while True:

@@ -1,0 +1,54 @@
+"""Fault injection into the real backend: a worker killed mid-protocol
+must surface as a typed :class:`BackendError` within a bounded deadline
+and leave no child processes behind."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.bench import cluster_workloads as cw
+from repro.cluster.backend import run_real
+from repro.cluster.realnet import localhost_available
+from repro.common.errors import BackendError
+
+pytestmark = [
+    pytest.mark.skipif(not hasattr(os, "fork"),
+                       reason="real backend needs os.fork"),
+    pytest.mark.skipif(not localhost_available(),
+                       reason="localhost TCP sockets unavailable"),
+]
+
+#: Worker-side fault points, in protocol order: death while the parent
+#: serves the forward page exchange, and death after the hand-back
+#: header but before its page batches (parent mid-collect).
+FAULTS = ["die-before-install", "die-before-handback", "die-mid-handback"]
+
+
+def assert_no_leaked_children(grace=10.0):
+    deadline = time.monotonic() + grace
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+@pytest.mark.parametrize("fault", FAULTS)
+def test_worker_death_is_typed_bounded_and_leakless(fault):
+    def configure(machine):
+        machine.shard.deadline = 10.0
+        machine.shard.fault_inject = fault
+
+    start = time.monotonic()
+    with pytest.raises(BackendError, match="real backend aborted"):
+        run_real(cw.md5_circuit_main(2), 2, configure=configure)
+    # Bounded: the 10s channel deadline plus join/teardown slack, far
+    # below the 60s default a hang would consume.
+    assert time.monotonic() - start < 40.0
+    assert_no_leaked_children()
+
+
+def test_clean_run_leaves_no_children():
+    result = run_real(cw.md5_circuit_main(2), 2)
+    assert result.value is not None
+    assert_no_leaked_children()

@@ -52,8 +52,8 @@ def test_log_file_contents_deterministic():
 
 def test_cli_module_lists_artifacts():
     from repro.bench.__main__ import ARTIFACTS, main
-    expected = {"fig4", "serving", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "fig12", "table3"}
+    expected = {"fig4", "md5", "serving", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "fig12", "table3"}
     assert expected == set(ARTIFACTS)
     assert main(["--list"]) == 0
 
